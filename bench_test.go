@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps each regenerated artifact affordable under `go test
+// -bench`. One benchmark iteration = one full experiment (warm-up +
+// measured window); key numbers are attached as custom metrics so `-bench`
+// output doubles as a results table.
+var benchScale = experiments.Scale{Warmup: 400_000, Measure: 600_000, Interval: 100_000}
+
+// runExperiment executes one paper artifact per benchmark iteration and
+// reports its key values as benchmark metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchScale, uint64(1+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for k, v := range last.Values {
+		b.ReportMetric(v, k)
+	}
+}
+
+// --- Figures ---
+
+// BenchmarkFig1SPECIntCycleBreakdown regenerates Figure 1 (user/kernel/idle
+// cycle shares over time for SPECInt95 on SMT).
+func BenchmarkFig1SPECIntCycleBreakdown(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig2KernelTimeBreakdown regenerates Figure 2 (kernel-time
+// categories, start-up vs steady state, SMT and superscalar).
+func BenchmarkFig2KernelTimeBreakdown(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3VMEntries regenerates Figure 3 (kernel memory-management
+// incursions by kind).
+func BenchmarkFig3VMEntries(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4Syscalls regenerates Figure 4 (system calls as % of cycles).
+func BenchmarkFig4Syscalls(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5ApacheModes regenerates Figure 5 (kernel/user activity in
+// Apache on SMT).
+func BenchmarkFig5ApacheModes(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ApacheKernelBreakdown regenerates Figure 6 (Apache kernel
+// activity vs SPECInt phases).
+func BenchmarkFig6ApacheKernelBreakdown(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7ApacheSyscalls regenerates Figure 7 (Apache syscall time by
+// name and by resource).
+func BenchmarkFig7ApacheSyscalls(b *testing.B) { runExperiment(b, "fig7") }
+
+// --- Tables ---
+
+// BenchmarkTable2InstructionMix regenerates Table 2 (SPECInt instruction mix).
+func BenchmarkTable2InstructionMix(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkTable3MissClassification regenerates Table 3 (SPECInt miss rates
+// and conflict classification).
+func BenchmarkTable3MissClassification(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkTable4OSImpact regenerates Table 4 (SPEC with/without OS on SMT
+// and superscalar).
+func BenchmarkTable4OSImpact(b *testing.B) { runExperiment(b, "tab4") }
+
+// BenchmarkTable5ApacheInstructionMix regenerates Table 5 (Apache mix).
+func BenchmarkTable5ApacheInstructionMix(b *testing.B) { runExperiment(b, "tab5") }
+
+// BenchmarkTable6ApacheArchMetrics regenerates Table 6 (Apache/SMT vs
+// SPECInt/SMT vs Apache/superscalar) — the paper's headline 4.2x result.
+func BenchmarkTable6ApacheArchMetrics(b *testing.B) { runExperiment(b, "tab6") }
+
+// BenchmarkTable7ApacheMissClassification regenerates Table 7 (Apache miss
+// causes across six hardware structures).
+func BenchmarkTable7ApacheMissClassification(b *testing.B) { runExperiment(b, "tab7") }
+
+// BenchmarkTable8ConstructiveSharing regenerates Table 8 (misses avoided by
+// interthread prefetching, SMT vs superscalar).
+func BenchmarkTable8ConstructiveSharing(b *testing.B) { runExperiment(b, "tab8") }
+
+// BenchmarkTable9OSImpactApache regenerates Table 9 (OS impact on hardware
+// structures for Apache).
+func BenchmarkTable9OSImpactApache(b *testing.B) { runExperiment(b, "tab9") }
+
+// --- Ablations (design choices called out in DESIGN.md §6) ---
+
+// BenchmarkAblationFetchPolicy compares ICOUNT 2.8 against round-robin fetch.
+func BenchmarkAblationFetchPolicy(b *testing.B) { runExperiment(b, "ablation-fetch") }
+
+// BenchmarkAblationContexts sweeps the hardware context count 1..8.
+func BenchmarkAblationContexts(b *testing.B) { runExperiment(b, "ablation-contexts") }
+
+// BenchmarkAblationIdleLoop compares halting vs spinning idle loops.
+func BenchmarkAblationIdleLoop(b *testing.B) { runExperiment(b, "ablation-idle") }
+
+// BenchmarkAblationInterruptInterval sweeps the 10 ms interrupt granularity.
+func BenchmarkAblationInterruptInterval(b *testing.B) { runExperiment(b, "ablation-interrupt") }
+
+// BenchmarkAblationServerProcesses sweeps the Apache pool size.
+func BenchmarkAblationServerProcesses(b *testing.B) { runExperiment(b, "ablation-procs") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (simulated
+// cycles per second) on the Apache workload — an engineering metric, not a
+// paper artifact.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("fig5", experiments.Scale{
+			Warmup: 100_000, Measure: 200_000, Interval: 60_000,
+		}, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(300_000)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkAblationNetworkDMA tests the paper's §2.2.1 claim that omitting
+// NIC DMA from the memory bus does not change the bottom line.
+func BenchmarkAblationNetworkDMA(b *testing.B) { runExperiment(b, "ablation-dma") }
+
+// BenchmarkAblationAffinityScheduler compares the stock FIFO scheduler with
+// the cache-affinity extension (the paper's future-work direction).
+func BenchmarkAblationAffinityScheduler(b *testing.B) { runExperiment(b, "ablation-affinity") }
+
+// BenchmarkAblationKeepAlive compares per-request connections (the paper's
+// SPECWeb96 setup) with persistent HTTP/1.1-style connections.
+func BenchmarkAblationKeepAlive(b *testing.B) { runExperiment(b, "ablation-keepalive") }
+
+// BenchmarkAblationDiskBound contrasts the paper's cached fileset with a
+// disk-bound one (every miss runs the driver + DMA; the disk is free).
+func BenchmarkAblationDiskBound(b *testing.B) { runExperiment(b, "ablation-diskbound") }

@@ -1,0 +1,89 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments                 # run everything at full scale
+//	experiments -run tab6       # one experiment
+//	experiments -quick          # reduced cycle budget (CI/laptop smoke)
+//	experiments -list           # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run (empty = all)")
+		quick = flag.Bool("quick", false, "reduced cycle budget")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		seeds = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	sc := experiments.Full
+	if *quick {
+		sc = experiments.Quick
+	}
+	if *run == "" {
+		fmt.Print(experiments.RenderAll(sc, *seed))
+		return
+	}
+	if *seeds > 1 {
+		multiSeed(*run, sc, *seed, *seeds)
+		return
+	}
+	res, err := experiments.Run(*run, sc, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s — %s\n\n%s\n", res.ID, res.Title, res.Text)
+}
+
+// multiSeed reruns one experiment across seeds and reports, for every key
+// value, the mean and min..max spread — a sanity check that a conclusion
+// does not hinge on one random stream.
+func multiSeed(id string, sc experiments.Scale, seed uint64, n int) {
+	acc := map[string][]float64{}
+	var title string
+	for i := 0; i < n; i++ {
+		res, err := experiments.Run(id, sc, seed+uint64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		title = res.Title
+		for k, v := range res.Values {
+			acc[k] = append(acc[k], v)
+		}
+	}
+	fmt.Printf("%s — %s (%d seeds)\n\n", id, title, n)
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vs := acc[k]
+		mean, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+		for _, v := range vs {
+			mean += v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		mean /= float64(len(vs))
+		fmt.Printf("  %-24s mean %.3f   range [%.3f, %.3f]\n", k, mean, lo, hi)
+	}
+}

@@ -1,0 +1,86 @@
+// Command ossmt runs one simulation of the reproduced system — the paper's
+// SMT (or superscalar baseline) executing the behavioral Digital Unix kernel
+// under a SPECInt95 or Apache/SPECWeb workload — and prints a measurement
+// summary.
+//
+// Examples:
+//
+//	ossmt -workload apache -cycles 6000000
+//	ossmt -workload specint -proc ss -apponly -cycles 4000000
+//	ossmt -workload apache -warmup 3000000 -cycles 6000000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "apache", "workload: specint | apache")
+		proc     = flag.String("proc", "smt", "processor: smt | ss")
+		cycles   = flag.Uint64("cycles", 4_000_000, "measured cycles")
+		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up cycles before measurement")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		appOnly  = flag.Bool("apponly", false, "application-only simulation (syscalls/traps instant)")
+		omitOS   = flag.Bool("omitpriv", false, "omit privileged references to caches/BTB (Table 9 mode)")
+		interval = flag.Uint64("interval", 200_000, "cycles per simulated 10ms (interrupt granularity)")
+		contexts = flag.Int("contexts", 0, "override SMT hardware contexts (default 8)")
+		procs    = flag.Int("procs", 0, "override Apache server processes (default 64)")
+		clients  = flag.Int("clients", 0, "override SPECWeb clients (default 128)")
+		idleSpin = flag.Bool("idlespin", false, "idle contexts spin instead of halting")
+		rrFetch  = flag.Bool("rrfetch", false, "round-robin fetch instead of ICOUNT")
+		perProg  = flag.Bool("perthread", false, "print a per-thread breakdown")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Seed:            *seed,
+		AppOnly:         *appOnly,
+		OmitPrivileged:  *omitOS,
+		CyclesPer10ms:   *interval,
+		Contexts:        *contexts,
+		ServerProcesses: *procs,
+		Clients:         *clients,
+		IdleSpin:        *idleSpin,
+		RoundRobinFetch: *rrFetch,
+	}
+	switch *proc {
+	case "smt":
+		opts.Processor = core.SMT
+	case "ss", "superscalar":
+		opts.Processor = core.Superscalar
+	default:
+		fmt.Fprintf(os.Stderr, "unknown processor %q (smt|ss)\n", *proc)
+		os.Exit(2)
+	}
+
+	var sim *core.Simulator
+	switch *workload {
+	case "specint":
+		sim = core.NewSPECInt(opts)
+	case "apache":
+		sim = core.NewApache(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q (specint|apache)\n", *workload)
+		os.Exit(2)
+	}
+
+	sim.Run(*warmup)
+	before := report.Take(sim)
+	sim.Run(*cycles)
+	after := report.Take(sim)
+	w := report.Delta(before, after)
+
+	title := fmt.Sprintf("%s on %s (seed %d, warmup %d, measured %d cycles)",
+		*workload, opts.Processor, *seed, *warmup, *cycles)
+	fmt.Print(report.Summary(title, w))
+	if *perProg {
+		fmt.Println()
+		fmt.Print(report.PerProgram(sim))
+	}
+}

@@ -1,0 +1,46 @@
+// Multiprog: the paper's methodological question (§3.1, Table 4) — what do
+// you miss by simulating only application code? Runs the SPECInt95
+// multiprogrammed workload twice on each processor: once with the
+// behavioral OS, once in application-only mode where system calls and TLB
+// traps complete instantly.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func measure(proc core.ProcessorKind, appOnly bool) report.Snapshot {
+	sim := core.NewSPECInt(core.Options{
+		Processor:     proc,
+		Seed:          1,
+		AppOnly:       appOnly,
+		CyclesPer10ms: 250_000,
+	})
+	sim.Run(2_500_000)
+	before := report.Take(sim)
+	sim.Run(3_500_000)
+	after := report.Take(sim)
+	return report.Delta(before, after)
+}
+
+func main() {
+	fmt.Println("SPECInt95 with and without operating-system execution (cf. Table 4)")
+	fmt.Println()
+	for _, proc := range []core.ProcessorKind{core.SMT, core.Superscalar} {
+		app := measure(proc, true)
+		full := measure(proc, false)
+		drop := 0.0
+		if app.IPC() > 0 {
+			drop = 100 * (full.IPC() - app.IPC()) / app.IPC()
+		}
+		fmt.Printf("%-12s app-only IPC %.2f   with-OS IPC %.2f   change %+.0f%%   (L1I %.2f%% -> %.2f%%)\n",
+			proc, app.IPC(), full.IPC(), drop,
+			app.L1I.MissRateOverall(), full.L1I.MissRateOverall())
+	}
+	fmt.Println("\nPaper: SMT 5.9 -> 5.6 (-5%); superscalar 3.0 -> 2.6 (-15%).")
+	fmt.Println("Conclusion (paper §3.1.2): application-only simulation is acceptable for SMT")
+	fmt.Println("bottom-line numbers on SPECInt, less so for superscalars or component studies.")
+}

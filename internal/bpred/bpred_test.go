@@ -1,0 +1,234 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/isa"
+)
+
+var (
+	uag = conflict.Agent{TID: 1}
+	kag = conflict.Agent{TID: 2, Priv: true}
+)
+
+func condBranch(pc uint64, taken bool) *isa.Inst {
+	return &isa.Inst{PC: pc, Class: isa.CondBranch, Taken: taken, Target: pc + 64}
+}
+
+func TestColdBranchDefaultsFallThrough(t *testing.T) {
+	p := New(8)
+	in := condBranch(0x1000, true)
+	pred := p.Predict(0, in, uag)
+	if pred.BTBHit {
+		t.Fatal("cold BTB hit")
+	}
+	if pred.Taken {
+		t.Fatal("cold prediction should be fall-through")
+	}
+	if !p.Resolve(0, in, pred, uag) {
+		t.Fatal("taken branch with fall-through prediction should mispredict")
+	}
+}
+
+func TestNotTakenColdIsCorrect(t *testing.T) {
+	p := New(8)
+	in := condBranch(0x2000, false)
+	pred := p.Predict(0, in, uag)
+	if p.Resolve(0, in, pred, uag) {
+		t.Fatal("not-taken branch with fall-through default mispredicted")
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(8)
+	in := condBranch(0x3000, true)
+	for i := 0; i < 40; i++ {
+		pred := p.Predict(0, in, uag)
+		p.Resolve(0, in, pred, uag)
+	}
+	pred := p.Predict(0, in, uag)
+	if !pred.BTBHit || !pred.Taken || pred.Target != in.Target {
+		t.Fatalf("did not learn taken branch: %+v", pred)
+	}
+	if p.Resolve(0, in, pred, uag) {
+		t.Fatal("trained branch mispredicted")
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	p := New(8)
+	// Alternating T/N/T/N: local history should capture it.
+	misp := 0
+	for i := 0; i < 200; i++ {
+		in := condBranch(0x4000, i%2 == 0)
+		pred := p.Predict(0, in, uag)
+		if p.Resolve(0, in, pred, uag) {
+			misp++
+		}
+	}
+	// After warm-up the pattern is fully predictable; allow generous slack.
+	if misp > 60 {
+		t.Fatalf("alternating pattern mispredicted %d/200 times", misp)
+	}
+}
+
+func TestIndirectTargetChangeMispredicts(t *testing.T) {
+	p := New(8)
+	j1 := &isa.Inst{PC: 0x5000, Class: isa.IndirectJump, Taken: true, Target: 0x6000}
+	pred := p.Predict(0, j1, kag)
+	p.Resolve(0, j1, pred, kag)
+	// Same jump, same target: predicted correctly.
+	pred = p.Predict(0, j1, kag)
+	if p.Resolve(0, j1, pred, kag) {
+		t.Fatal("stable indirect target mispredicted")
+	}
+	// Target changes: mispredict (the paper's kernel BTB pathology).
+	j2 := &isa.Inst{PC: 0x5000, Class: isa.IndirectJump, Taken: true, Target: 0x7000}
+	pred = p.Predict(0, j2, kag)
+	if !p.Resolve(0, j2, pred, kag) {
+		t.Fatal("changed indirect target predicted correctly")
+	}
+}
+
+func TestUncondBranchDirectTarget(t *testing.T) {
+	p := New(8)
+	in := &isa.Inst{PC: 0x8000, Class: isa.UncondBranch, Taken: true, Target: 0x9000}
+	pred := p.Predict(0, in, uag)
+	if !pred.Taken || pred.Target != 0x9000 {
+		t.Fatalf("direct unconditional target not available at decode: %+v", pred)
+	}
+	if p.Resolve(0, in, pred, uag) {
+		t.Fatal("direct unconditional mispredicted")
+	}
+	// The cold lookup still counts a BTB miss (Tables 3/7 BTB column).
+	if p.BTBMisses[0] != 1 {
+		t.Fatalf("BTB misses = %d, want 1", p.BTBMisses[0])
+	}
+}
+
+func TestBTBMissClassification(t *testing.T) {
+	p := New(8)
+	// Fill one BTB set (4 ways) with kernel branches mapping to same set,
+	// evicting a previously learned user branch.
+	user := &isa.Inst{PC: 0x1000, Class: isa.UncondBranch, Taken: true, Target: 0x2000}
+	pred := p.Predict(0, user, uag)
+	p.Resolve(0, user, pred, uag)
+	stride := uint64(btbSets * 4) // same set, different tags
+	for i := uint64(1); i <= 4; i++ {
+		in := &isa.Inst{PC: 0x1000 + i*stride, Class: isa.UncondBranch, Taken: true, Target: 0x3000}
+		pr := p.Predict(0, in, kag)
+		p.Resolve(0, in, pr, kag)
+	}
+	p.Predict(0, user, uag) // user branch now misses: user-kernel conflict
+	if p.BTBCauses.Counts[0][conflict.UserKernel] == 0 {
+		t.Fatal("BTB user-kernel conflict not classified")
+	}
+	if p.BTBMisses[0] == 0 {
+		t.Fatal("BTB miss not counted")
+	}
+}
+
+func TestReturnAddressStack(t *testing.T) {
+	p := New(8)
+	call := &isa.Inst{PC: 0x100, Class: isa.UncondBranch, Taken: true, Target: 0x1000}
+	ret := &isa.Inst{PC: 0x1040, Class: isa.IndirectJump, Taken: true, Target: 0x104}
+	// Train once (allocates BTB entries, pushes/pops RAS).
+	pr := p.Predict(0, call, uag)
+	p.Resolve(0, call, pr, uag)
+	pr = p.Predict(0, ret, uag)
+	p.Resolve(0, ret, pr, uag)
+	// Second round: call pushes 0x104; return should pop it from RAS even
+	// though the BTB's stored target might be stale.
+	pr = p.Predict(0, call, uag)
+	p.Resolve(0, call, pr, uag)
+	pr = p.Predict(0, ret, uag)
+	if !pr.BTBHit || pr.Target != 0x104 {
+		t.Fatalf("return not predicted via RAS: %+v", pr)
+	}
+	if p.Resolve(0, ret, pr, uag) {
+		t.Fatal("return mispredicted with warm RAS")
+	}
+}
+
+func TestRASOverflowKeepsNewest(t *testing.T) {
+	p := New(1)
+	for i := 0; i < rasDepth+5; i++ {
+		p.rasPush(0, uint64(0x1000+i*4))
+	}
+	top, ok := p.rasTop(0)
+	if !ok || top != uint64(0x1000+(rasDepth+4)*4) {
+		t.Fatalf("RAS top = %#x, %v", top, ok)
+	}
+	if len(p.ras[0]) != rasDepth {
+		t.Fatalf("RAS depth = %d", len(p.ras[0]))
+	}
+}
+
+func TestFlushContext(t *testing.T) {
+	p := New(2)
+	p.rasPush(1, 0xdead)
+	p.ghr[1] = 0x55
+	p.FlushContext(1)
+	if _, ok := p.rasTop(1); ok {
+		t.Fatal("RAS survived flush")
+	}
+	if p.ghr[1] != 0 {
+		t.Fatal("GHR survived flush")
+	}
+}
+
+func TestOmitPrivileged(t *testing.T) {
+	p := New(8)
+	p.OmitPrivileged = true
+	in := condBranch(0x100, true)
+	pred := p.Predict(0, in, kag)
+	if !pred.Taken || pred.Target != in.Target {
+		t.Fatal("omitted privileged prediction not perfect")
+	}
+	if p.Resolve(0, in, pred, kag) {
+		t.Fatal("omitted privileged resolve mispredicted")
+	}
+	if p.BTBLookups[1] != 0 || p.Lookups[1] != 0 {
+		t.Fatal("privileged stats recorded in omit mode")
+	}
+	// User path unaffected.
+	pu := p.Predict(0, in, uag)
+	if pu.BTBHit {
+		t.Fatal("user path affected by omit mode")
+	}
+}
+
+func TestRates(t *testing.T) {
+	p := New(8)
+	in := condBranch(0x100, true)
+	pred := p.Predict(0, in, uag)
+	p.Resolve(0, in, pred, uag)
+	if p.MispredictRate(false) != 100 {
+		t.Fatalf("user mispredict rate = %.1f", p.MispredictRate(false))
+	}
+	if p.MispredictRate(true) != 0 || p.BTBMissRate(true) != 0 {
+		t.Fatal("kernel rates should be 0")
+	}
+	if p.BTBMissRateOverall() != 100 {
+		t.Fatalf("BTB overall = %.1f", p.BTBMissRateOverall())
+	}
+	if p.MispredictRateOverall() != 100 {
+		t.Fatalf("overall = %.1f", p.MispredictRateOverall())
+	}
+	empty := New(1)
+	if empty.MispredictRateOverall() != 0 || empty.BTBMissRateOverall() != 0 {
+		t.Fatal("empty predictor rates should be 0")
+	}
+}
+
+func TestSeparateContextsSeparateHistories(t *testing.T) {
+	p := New(2)
+	// Train context 0 on taken, context 1 on not-taken, same PC: the global
+	// histories differ per context but tables are shared; just verify no
+	// cross-context RAS pollution.
+	p.rasPush(0, 0xAAAA)
+	if _, ok := p.rasTop(1); ok {
+		t.Fatal("RAS shared across contexts")
+	}
+}

@@ -1,0 +1,185 @@
+// Package conflict implements the miss-cause classification used throughout
+// the paper's Tables 3 and 7: every miss in a hardware structure (cache,
+// TLB, BTB) is attributed to the activity that displaced the entry —
+// the same thread (intrathread conflict), a different thread in the same
+// privilege class (interthread conflict), the opposite privilege class
+// (user-kernel conflict), an explicit OS invalidation, or a first reference
+// (compulsory).
+//
+// The paper's wording (Table 3 caption): "user-kernel conflicts are misses
+// in which the user thread conflicted with some type of kernel activity
+// (the kernel executing on behalf of this user thread, some other user
+// thread, a kernel thread, or an interrupt)" — i.e. the classification is by
+// privilege class, not by software-thread identity alone.
+package conflict
+
+import "fmt"
+
+// Agent identifies who performed an access: a software thread and whether
+// it was executing privileged (kernel or PAL) code at the time.
+type Agent struct {
+	// TID is the software thread identifier.
+	TID uint32
+	// Priv is true for kernel/PAL-mode execution.
+	Priv bool
+}
+
+// Cause classifies a miss.
+type Cause uint8
+
+const (
+	// Compulsory: the entry was never resident before.
+	Compulsory Cause = iota
+	// Intrathread: displaced by the same thread in the same privilege class.
+	Intrathread
+	// Interthread: displaced by a different thread in the same privilege class.
+	Interthread
+	// UserKernel: displaced by activity of the opposite privilege class.
+	UserKernel
+	// Invalidation: removed by an explicit OS invalidation (cache flush,
+	// TLB shootdown, ASN recycling).
+	Invalidation
+
+	// NumCauses is the number of miss causes.
+	NumCauses = int(Invalidation) + 1
+)
+
+var causeNames = [NumCauses]string{
+	"compulsory", "intrathread", "interthread", "user-kernel", "invalidation",
+}
+
+// String returns the cause name.
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("Cause(%d)", uint8(c))
+}
+
+// evictor records what displaced an entry.
+type evictor struct {
+	tid         uint32
+	priv        bool
+	invalidated bool
+}
+
+// Tracker remembers, for every key (cache line address, TLB page, BTB slot
+// tag) that was ever displaced, who displaced it, so that the next miss on
+// that key can be classified.
+type Tracker struct {
+	seen map[uint64]evictor
+}
+
+// NewTracker returns an empty Tracker.
+func NewTracker() *Tracker {
+	return &Tracker{seen: make(map[uint64]evictor)}
+}
+
+// Evicted records that key was displaced by agent (e.g. the agent whose fill
+// replaced it).
+func (t *Tracker) Evicted(key uint64, by Agent) {
+	t.seen[key] = evictor{tid: by.TID, priv: by.Priv}
+}
+
+// Invalidated records that key was removed by an explicit OS action.
+func (t *Tracker) Invalidated(key uint64) {
+	t.seen[key] = evictor{invalidated: true}
+}
+
+// FirstSeen records that key has been resident at least once, so a future
+// miss on it is not compulsory even if it was never formally evicted
+// (e.g. trackers shared across structures).
+func (t *Tracker) FirstSeen(key uint64, by Agent) {
+	if _, ok := t.seen[key]; !ok {
+		t.seen[key] = evictor{tid: by.TID, priv: by.Priv}
+	}
+}
+
+// Seen reports whether key has ever been resident.
+func (t *Tracker) Seen(key uint64) bool {
+	_, ok := t.seen[key]
+	return ok
+}
+
+// Classify returns the cause of a miss on key by agent. A key never seen is
+// a compulsory miss (and is marked seen so the next miss is a conflict).
+func (t *Tracker) Classify(key uint64, by Agent) Cause {
+	ev, ok := t.seen[key]
+	if !ok {
+		return Compulsory
+	}
+	switch {
+	case ev.invalidated:
+		return Invalidation
+	case ev.priv != by.Priv:
+		return UserKernel
+	case ev.tid == by.TID:
+		return Intrathread
+	default:
+		return Interthread
+	}
+}
+
+// Len returns the number of keys tracked (for memory accounting in tests).
+func (t *Tracker) Len() int { return len(t.seen) }
+
+// Matrix accumulates classified misses split by the accessor's privilege
+// class, exactly the layout of the paper's Tables 3 and 7 (User and Kernel
+// columns × cause rows).
+type Matrix struct {
+	// Counts[priv][cause]: priv 0 = user, 1 = kernel.
+	Counts [2][NumCauses]uint64
+}
+
+func privIndex(priv bool) int {
+	if priv {
+		return 1
+	}
+	return 0
+}
+
+// Add records one miss.
+func (m *Matrix) Add(by Agent, c Cause) {
+	m.Counts[privIndex(by.Priv)][c]++
+}
+
+// Total returns all misses recorded.
+func (m *Matrix) Total() uint64 {
+	var t uint64
+	for p := range m.Counts {
+		for c := range m.Counts[p] {
+			t += m.Counts[p][c]
+		}
+	}
+	return t
+}
+
+// Percent returns Counts[priv][cause] as a percentage of all misses in the
+// matrix (the tables' "percentage of misses due to conflicts, sums to 100%").
+func (m *Matrix) Percent(priv bool, c Cause) float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(m.Counts[privIndex(priv)][c]) / float64(t)
+}
+
+// Sharing accumulates the constructive interthread-sharing statistic of the
+// paper's Table 8: accesses that hit only because *another* thread had
+// already fetched the entry ("misses avoided due to interthread
+// cooperation"), split by the privilege class of the thread that would have
+// missed and of the thread that prefetched.
+type Sharing struct {
+	// Avoided[accessorPriv][fillerPriv].
+	Avoided [2][2]uint64
+}
+
+// Add records one avoided miss.
+func (s *Sharing) Add(accessor, filler Agent) {
+	s.Avoided[privIndex(accessor.Priv)][privIndex(filler.Priv)]++
+}
+
+// Total returns all avoided misses.
+func (s *Sharing) Total() uint64 {
+	return s.Avoided[0][0] + s.Avoided[0][1] + s.Avoided[1][0] + s.Avoided[1][1]
+}

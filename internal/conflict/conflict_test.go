@@ -1,0 +1,137 @@
+package conflict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyCompulsoryOnce(t *testing.T) {
+	tr := NewTracker()
+	a := Agent{TID: 1}
+	if c := tr.Classify(100, a); c != Compulsory {
+		t.Fatalf("first miss = %v, want compulsory", c)
+	}
+	// Classify does not implicitly mark seen; the structure records the
+	// eviction explicitly. After an eviction the miss is a conflict.
+	tr.Evicted(100, Agent{TID: 1})
+	if c := tr.Classify(100, a); c == Compulsory {
+		t.Fatal("miss after eviction still compulsory")
+	}
+}
+
+func TestClassifyCauses(t *testing.T) {
+	tr := NewTracker()
+	user1 := Agent{TID: 1, Priv: false}
+	user2 := Agent{TID: 2, Priv: false}
+	kern1 := Agent{TID: 1, Priv: true}
+	kern3 := Agent{TID: 3, Priv: true}
+
+	tr.Evicted(1, user1)
+	if c := tr.Classify(1, user1); c != Intrathread {
+		t.Fatalf("same agent = %v, want intrathread", c)
+	}
+	if c := tr.Classify(1, user2); c != Interthread {
+		t.Fatalf("other user = %v, want interthread", c)
+	}
+	if c := tr.Classify(1, kern1); c != UserKernel {
+		t.Fatalf("kernel after user eviction = %v, want user-kernel", c)
+	}
+
+	tr.Evicted(2, kern3)
+	if c := tr.Classify(2, kern3); c != Intrathread {
+		t.Fatalf("kernel same thread = %v, want intrathread", c)
+	}
+	if c := tr.Classify(2, kern1); c != Interthread {
+		t.Fatalf("kernel other thread = %v, want interthread", c)
+	}
+	if c := tr.Classify(2, user1); c != UserKernel {
+		t.Fatalf("user after kernel eviction = %v, want user-kernel", c)
+	}
+
+	tr.Invalidated(3)
+	if c := tr.Classify(3, user1); c != Invalidation {
+		t.Fatalf("after invalidation = %v, want invalidation", c)
+	}
+}
+
+func TestFirstSeenDoesNotOverwrite(t *testing.T) {
+	tr := NewTracker()
+	tr.Evicted(9, Agent{TID: 5, Priv: true})
+	tr.FirstSeen(9, Agent{TID: 6})
+	if c := tr.Classify(9, Agent{TID: 7}); c != UserKernel {
+		t.Fatalf("FirstSeen overwrote eviction record: %v", c)
+	}
+	tr.FirstSeen(10, Agent{TID: 6})
+	if !tr.Seen(10) {
+		t.Fatal("FirstSeen did not mark key seen")
+	}
+}
+
+func TestMatrixPercentagesSumTo100(t *testing.T) {
+	var m Matrix
+	agents := []Agent{{TID: 1}, {TID: 2, Priv: true}, {TID: 3}}
+	causes := []Cause{Compulsory, Intrathread, Interthread, UserKernel, Invalidation}
+	for i := 0; i < 1000; i++ {
+		m.Add(agents[i%len(agents)], causes[i%len(causes)])
+	}
+	var sum float64
+	for _, priv := range []bool{false, true} {
+		for c := 0; c < NumCauses; c++ {
+			sum += m.Percent(priv, Cause(c))
+		}
+	}
+	if sum < 99.99 || sum > 100.01 {
+		t.Fatalf("percentages sum to %.4f", sum)
+	}
+	if m.Total() != 1000 {
+		t.Fatalf("total = %d", m.Total())
+	}
+}
+
+func TestMatrixEmptyPercent(t *testing.T) {
+	var m Matrix
+	if m.Percent(false, Intrathread) != 0 {
+		t.Fatal("empty matrix percent should be 0")
+	}
+}
+
+func TestSharing(t *testing.T) {
+	var s Sharing
+	s.Add(Agent{TID: 1}, Agent{TID: 2, Priv: true})             // user saved by kernel
+	s.Add(Agent{TID: 3, Priv: true}, Agent{TID: 4, Priv: true}) // kernel saved by kernel
+	if s.Avoided[0][1] != 1 || s.Avoided[1][1] != 1 || s.Total() != 2 {
+		t.Fatalf("sharing counts wrong: %+v", s)
+	}
+}
+
+// Property: classification is a total function consistent with the recorded
+// evictor.
+func TestClassifyConsistency(t *testing.T) {
+	tr := NewTracker()
+	f := func(key uint64, evTID, accTID uint32, evPriv, accPriv bool) bool {
+		ev := Agent{TID: evTID, Priv: evPriv}
+		acc := Agent{TID: accTID, Priv: accPriv}
+		tr.Evicted(key, ev)
+		c := tr.Classify(key, acc)
+		switch {
+		case evPriv != accPriv:
+			return c == UserKernel
+		case evTID == accTID:
+			return c == Intrathread
+		default:
+			return c == Interthread
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	if Compulsory.String() != "compulsory" || Invalidation.String() != "invalidation" {
+		t.Fatal("cause names wrong")
+	}
+	if Cause(77).String() == "" {
+		t.Fatal("unknown cause should stringify")
+	}
+}

@@ -1,0 +1,204 @@
+// Package core is the public face of the reproduction: it assembles the
+// simulated machine (SMT or superscalar pipeline, caches, TLBs, branch
+// hardware), the behavioral Digital Unix kernel, and a workload — the
+// multiprogrammed SPECInt95 suite or the Apache/SPECWeb server setup — into
+// a runnable Simulator, mirroring the paper's SimOS-based methodology.
+//
+// Typical use:
+//
+//	sim := core.NewApache(core.Options{Processor: core.SMT, Seed: 1})
+//	sim.Run(5_000_000)
+//	fmt.Println(sim.Engine.Metrics.IPC(), sim.Engine.Cycles.KernelPct())
+package core
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+	"repro/internal/workload/apache"
+	"repro/internal/workload/specint"
+
+	"repro/internal/cache"
+)
+
+// ProcessorKind selects the simulated core.
+type ProcessorKind uint8
+
+const (
+	// SMT is the paper's 8-context simultaneous multithreaded processor.
+	SMT ProcessorKind = iota
+	// Superscalar is the otherwise-identical out-of-order baseline with one
+	// context and a 2-stage-shorter pipeline.
+	Superscalar
+)
+
+func (p ProcessorKind) String() string {
+	if p == Superscalar {
+		return "superscalar"
+	}
+	return "smt"
+}
+
+// Options configures a simulation.
+type Options struct {
+	// Processor selects SMT (default) or Superscalar.
+	Processor ProcessorKind
+	// Seed makes the whole simulation deterministic.
+	Seed uint64
+	// AppOnly selects application-only simulation (§2.3.1): syscalls and
+	// TLB traps complete instantly with no kernel code.
+	AppOnly bool
+	// OmitPrivileged keeps the OS running but omits its references to the
+	// caches and branch hardware (Table 9's "Apache only" column).
+	OmitPrivileged bool
+	// CyclesPer10ms overrides the interrupt granularity (0 = default).
+	CyclesPer10ms uint64
+	// Contexts overrides the SMT context count (0 = 8).
+	Contexts int
+	// IdleSpin selects the spinning (vs halting) idle loop, for the
+	// paper's idle-loop resource-waste discussion.
+	IdleSpin bool
+	// Clients overrides the SPECWeb client count (0 = 128).
+	Clients int
+	// ServerProcesses overrides the Apache pool size (0 = 64).
+	ServerProcesses int
+	// FetchContexts overrides the ICOUNT fetch-context count (0 = 2).
+	FetchContexts int
+	// RoundRobinFetch replaces ICOUNT with round-robin fetch (ablation).
+	RoundRobinFetch bool
+	// ModelNetworkDMA adds NIC DMA traffic to the memory bus (the paper
+	// omits it; see ablation-dma).
+	ModelNetworkDMA bool
+	// AffinityScheduler enables the cache-affinity scheduling extension.
+	AffinityScheduler bool
+	// KeepAliveRequests > 1 switches the web workload to persistent
+	// (HTTP/1.1-style) connections with that many requests per connection.
+	KeepAliveRequests int
+	// BufferCacheHitRate overrides the OS buffer-cache hit probability
+	// for file reads (0 = default 0.92; use a small positive value to
+	// model the disk-bound machine the paper speculates about in §2.2.1).
+	BufferCacheHitRate float64
+}
+
+// Simulator couples a machine, its OS, and a workload.
+type Simulator struct {
+	Engine *pipeline.Engine
+	Kernel *kernel.Kernel
+	// Net is the SPECWeb client fleet (nil for SPECInt runs).
+	Net *netsim.Network
+	// Server is the Apache model (nil for SPECInt runs).
+	Server *apache.Server
+	// Programs are the user processes.
+	Programs []*workload.ScriptProgram
+	// Workload names the workload ("specint", "apache").
+	Workload string
+}
+
+// pipelineConfig builds the pipeline configuration from options.
+func pipelineConfig(o Options) pipeline.Config {
+	var pcfg pipeline.Config
+	if o.Processor == Superscalar {
+		pcfg = pipeline.SuperscalarConfig()
+	} else {
+		pcfg = pipeline.SMTConfig()
+		if o.Contexts > 0 {
+			pcfg.Contexts = o.Contexts
+		}
+		if o.FetchContexts > 0 {
+			pcfg.FetchContexts = o.FetchContexts
+		}
+	}
+	pcfg.AppOnly = o.AppOnly
+	pcfg.RoundRobinFetch = o.RoundRobinFetch
+	return pcfg
+}
+
+// kernelConfig builds the kernel configuration from options.
+func kernelConfig(o Options, contexts int) kernel.Config {
+	kcfg := kernel.DefaultConfig()
+	kcfg.Contexts = contexts
+	kcfg.Seed = o.Seed
+	kcfg.AppOnly = o.AppOnly
+	kcfg.IdleSpin = o.IdleSpin
+	kcfg.ModelNetworkDMA = o.ModelNetworkDMA
+	kcfg.AffinityScheduler = o.AffinityScheduler
+	if o.BufferCacheHitRate > 0 {
+		kcfg.BufferCacheHitRate = o.BufferCacheHitRate
+	}
+	if o.CyclesPer10ms > 0 {
+		kcfg.CyclesPer10ms = o.CyclesPer10ms
+	}
+	return kcfg
+}
+
+// assemble wires kernel and engine.
+func assemble(o Options) (*Simulator, kernel.Config) {
+	pcfg := pipelineConfig(o)
+	kcfg := kernelConfig(o, pcfg.Contexts)
+	k := kernel.New(kcfg)
+	e := pipeline.New(pcfg, k, cache.NewHierarchy(cache.DefaultHierConfig()))
+	k.AttachEngine(e)
+	if o.OmitPrivileged {
+		e.Hier.OmitPrivileged = true
+		e.Pred.OmitPrivileged = true
+	}
+	return &Simulator{Engine: e, Kernel: k}, kcfg
+}
+
+// NewSPECInt builds the paper's multiprogrammed SPECInt95 simulation: the
+// eight integer benchmarks, one process each.
+func NewSPECInt(o Options) *Simulator {
+	sim, _ := assemble(o)
+	sim.Workload = "specint"
+	for _, p := range specint.Programs(o.Seed + 101) {
+		sim.Programs = append(sim.Programs, p)
+		sim.Kernel.AddProgram(p)
+	}
+	return sim
+}
+
+// NewApache builds the paper's OS-intensive workload: the 64-process Apache
+// pool driven by 128 SPECWeb96 clients over the simulated network.
+func NewApache(o Options) *Simulator {
+	sim, _ := assemble(o)
+	sim.Workload = "apache"
+
+	ncfg := netsim.DefaultConfig()
+	ncfg.Seed = o.Seed + 202
+	if o.Clients > 0 {
+		ncfg.Clients = o.Clients
+	}
+	if o.KeepAliveRequests > 1 {
+		ncfg.RequestsPerConn = o.KeepAliveRequests
+	}
+	net := netsim.New(ncfg)
+	sim.Net = net
+	sim.Kernel.SetNIC(net)
+
+	acfg := apache.DefaultConfig()
+	acfg.Seed = o.Seed + 303
+	if o.ServerProcesses > 0 {
+		acfg.Processes = o.ServerProcesses
+	}
+	acfg.FileSize = net.FileSize
+	acfg.ConnOf = sim.Kernel.ConnOf
+	acfg.KeepAlive = o.KeepAliveRequests > 1
+	srv := apache.New(acfg)
+	sim.Server = srv
+
+	base, size := apache.TextRange()
+	sim.Kernel.Mem.ShareRange(base, size)
+
+	for _, p := range srv.Programs() {
+		sim.Programs = append(sim.Programs, p)
+		sim.Kernel.AddProgram(p)
+	}
+	return sim
+}
+
+// Run advances the simulation by n cycles.
+func (s *Simulator) Run(n uint64) { s.Engine.Run(n) }
+
+// Now returns the current cycle.
+func (s *Simulator) Now() uint64 { return s.Engine.Now() }

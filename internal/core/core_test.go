@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sys"
+)
+
+func TestSPECIntSMTRuns(t *testing.T) {
+	sim := NewSPECInt(Options{Processor: SMT, Seed: 1, CyclesPer10ms: 200_000})
+	sim.Run(800_000)
+	sim.Engine.CheckInvariants()
+	m := &sim.Engine.Metrics
+	if m.Retired < 100_000 {
+		t.Fatalf("retired only %d", m.Retired)
+	}
+	if sim.Engine.Mix.Total(false) == 0 || sim.Engine.Mix.Total(true) == 0 {
+		t.Fatal("missing user or kernel instructions")
+	}
+	// SPECInt start-up: kernel share well below half but nonzero.
+	kp := sim.Engine.Cycles.KernelPct()
+	if kp <= 0 || kp > 85 {
+		t.Fatalf("kernel%% = %.1f, implausible for SPECInt start-up", kp)
+	}
+	// All 8 programs got CPU time (they retired user instructions).
+	if got := sim.Engine.Cycles.ByCat[sys.CatUser]; got == 0 {
+		t.Fatal("no user cycles")
+	}
+}
+
+func TestSPECIntSuperscalarRuns(t *testing.T) {
+	sim := NewSPECInt(Options{Processor: Superscalar, Seed: 1, CyclesPer10ms: 200_000})
+	sim.Run(400_000)
+	sim.Engine.CheckInvariants()
+	if sim.Engine.Metrics.Retired == 0 {
+		t.Fatal("nothing retired on superscalar")
+	}
+	if sim.Engine.Cfg.Contexts != 1 {
+		t.Fatal("superscalar should have 1 context")
+	}
+}
+
+func TestApacheServesRequests(t *testing.T) {
+	sim := NewApache(Options{Processor: SMT, Seed: 2, CyclesPer10ms: 100_000})
+	sim.Run(4_000_000)
+	sim.Engine.CheckInvariants()
+	if sim.Net.Completed == 0 {
+		t.Fatalf("no requests completed (issued %d, outstanding %d)",
+			sim.Net.Requests, sim.Net.Outstanding())
+	}
+	if sim.Server.RequestsHandled == 0 {
+		t.Fatal("server handled no requests")
+	}
+	// The paper's headline software observation: Apache is kernel-dominated.
+	kp := sim.Engine.Cycles.KernelPct()
+	if kp < 40 {
+		t.Fatalf("Apache kernel%% = %.1f, expected dominant", kp)
+	}
+	// Network activity present.
+	if sim.Engine.Cycles.ByCat[sys.CatNetisr] == 0 {
+		t.Fatal("no netisr cycles")
+	}
+	if sim.Kernel.NetInterrupts == 0 {
+		t.Fatal("no network interrupts")
+	}
+	// Syscall attribution covers the Figure 7 calls.
+	for _, n := range []uint16{sys.SysAccept, sys.SysRead, sys.SysStat, sys.SysWritev} {
+		if sim.Engine.Cycles.BySyscall[n] == 0 {
+			t.Errorf("no cycles attributed to %s", sys.Name(n))
+		}
+	}
+}
+
+func TestApacheAppOnly(t *testing.T) {
+	sim := NewApache(Options{Processor: SMT, Seed: 2, AppOnly: true, CyclesPer10ms: 100_000})
+	sim.Run(1_500_000)
+	if sim.Engine.Mix.Total(true) != 0 {
+		t.Fatal("app-only Apache retired kernel instructions")
+	}
+	if sim.Net.Completed == 0 {
+		t.Fatal("app-only Apache served nothing")
+	}
+}
+
+func TestOmitPrivilegedHardware(t *testing.T) {
+	sim := NewApache(Options{Processor: SMT, Seed: 3, OmitPrivileged: true, CyclesPer10ms: 100_000})
+	sim.Run(1_000_000)
+	if sim.Engine.Hier.L1I.Accesses[1] != 0 || sim.Engine.Hier.L1D.Accesses[1] != 0 {
+		t.Fatal("privileged cache references recorded in omit mode")
+	}
+	if sim.Engine.Mix.Total(true) == 0 {
+		t.Fatal("kernel still executes (only its hardware references are omitted)")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64, float64) {
+		sim := NewApache(Options{Processor: SMT, Seed: 7, CyclesPer10ms: 100_000})
+		sim.Run(1_200_000)
+		return sim.Engine.Metrics.Retired, sim.Net.Completed, sim.Engine.Cycles.KernelPct()
+	}
+	r1, c1, k1 := run()
+	r2, c2, k2 := run()
+	if r1 != r2 || c1 != c2 || k1 != k2 {
+		t.Fatalf("nondeterministic: (%d,%d,%f) vs (%d,%d,%f)", r1, c1, k1, r2, c2, k2)
+	}
+}
+
+func TestInstructionMixShape(t *testing.T) {
+	sim := NewSPECInt(Options{Processor: SMT, Seed: 4, CyclesPer10ms: 1 << 40})
+	sim.Run(1_500_000)
+	mix := &sim.Engine.Mix
+	// User mix should be near Table 2: loads ~20%, stores ~10%.
+	if p := mix.Pct(false, isa.Load); p < 12 || p > 28 {
+		t.Fatalf("user load%% = %.1f", p)
+	}
+	if p := mix.Pct(false, isa.Store); p < 5 || p > 18 {
+		t.Fatalf("user store%% = %.1f", p)
+	}
+	// Kernel physical-address fraction should be substantial (Table 2).
+	if f := mix.PhysFrac(true, false); f < 15 {
+		t.Fatalf("kernel physical load fraction = %.1f%%", f)
+	}
+}

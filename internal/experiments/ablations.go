@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sys"
+)
+
+func init() {
+	register("ablation-fetch", "Ablation: ICOUNT 2.8 fetch vs round-robin", ablationFetch)
+	register("ablation-contexts", "Ablation: hardware context count 1..8", ablationContexts)
+	register("ablation-idle", "Ablation: halting vs spinning idle loop", ablationIdle)
+	register("ablation-interrupt", "Ablation: network interrupt granularity", ablationInterrupt)
+	register("ablation-procs", "Ablation: Apache server-process pool size", ablationProcs)
+}
+
+func ablationFetch(sc Scale, seed uint64) Result {
+	icount := window(apacheSim(sc, seed, core.Options{}), sc)
+	rr := window(apacheSim(sc, seed, core.Options{RoundRobinFetch: true}), sc)
+	t := report.NewTable("policy", "IPC", "squash%", "fetchable")
+	t.Row("icount-2.8", report.F2(icount.IPC()), report.F1(icount.Metrics.SquashPct()), report.F1(icount.Metrics.AvgFetchable()))
+	t.Row("round-robin", report.F2(rr.IPC()), report.F1(rr.Metrics.SquashPct()), report.F1(rr.Metrics.AvgFetchable()))
+	text := t.String() + "\nICOUNT starves clogged contexts of fetch slots; round-robin feeds them anyway.\n"
+	return Result{Text: text, Values: map[string]float64{
+		"icountIPC": icount.IPC(), "rrIPC": rr.IPC(),
+	}}
+}
+
+func ablationContexts(sc Scale, seed uint64) Result {
+	t := report.NewTable("contexts", "IPC", "kernel%", "fetchable")
+	vals := map[string]float64{}
+	for _, n := range []int{1, 2, 4, 8} {
+		w := window(apacheSim(sc, seed, core.Options{Contexts: n}), sc)
+		t.Row(fmt.Sprintf("%d", n), report.F2(w.IPC()), report.F1(w.CycleAt.KernelPct()), report.F1(w.Metrics.AvgFetchable()))
+		vals[fmt.Sprintf("ipc%d", n)] = w.IPC()
+	}
+	text := t.String() + "\nThroughput scales with contexts as SMT converts thread-level into instruction-level parallelism.\n"
+	return Result{Text: text, Values: vals}
+}
+
+func ablationIdle(sc Scale, seed uint64) Result {
+	// Half-loaded machine: 4 Apache processes on 8 contexts leaves idle
+	// contexts whose spin loop competes for fetch slots.
+	halt := window(apacheSim(sc, seed, core.Options{ServerProcesses: 4, Clients: 8}), sc)
+	spin := window(apacheSim(sc, seed, core.Options{ServerProcesses: 4, Clients: 8, IdleSpin: true}), sc)
+	t := report.NewTable("idle model", "IPC", "retired/kcycle")
+	perK := func(w report.Snapshot) float64 {
+		if w.Metrics.Cycles == 0 {
+			return 0
+		}
+		return float64(w.Metrics.Retired) / float64(w.Metrics.Cycles) * 1000
+	}
+	t.Row("halting", report.F2(halt.IPC()), report.F1(perK(halt)))
+	t.Row("spinning", report.F2(spin.IPC()), report.F1(perK(spin)))
+	text := t.String() + "\nThe paper (§2.2.2): the idle loop is unnecessary work that wastes SMT resources.\n" +
+		"(Spinning inflates IPC with useless idle instructions while stealing fetch slots from real work.)\n"
+	return Result{Text: text, Values: map[string]float64{
+		"haltIPC": halt.IPC(), "spinIPC": spin.IPC(),
+	}}
+}
+
+func ablationInterrupt(sc Scale, seed uint64) Result {
+	t := report.NewTable("interval(cycles)", "IPC", "requests done", "netisr%")
+	vals := map[string]float64{}
+	for _, iv := range []uint64{sc.Interval / 2, sc.Interval, sc.Interval * 2} {
+		sim := core.NewApache(core.Options{Seed: seed, CyclesPer10ms: iv})
+		w := window(sim, sc)
+		t.Row(fmt.Sprintf("%d", iv), report.F2(w.IPC()), report.I(w.NetCompleted),
+			report.F1(w.CycleAt.PctCat(sys.CatNetisr)))
+		vals[fmt.Sprintf("done%d", iv)] = float64(w.NetCompleted)
+	}
+	text := t.String() + "\nCoarser interrupt granularity batches request arrivals and delays responses.\n"
+	return Result{Text: text, Values: vals}
+}
+
+func ablationProcs(sc Scale, seed uint64) Result {
+	t := report.NewTable("server processes", "IPC", "requests done", "kernel%")
+	vals := map[string]float64{}
+	for _, n := range []int{8, 16, 32, 64} {
+		w := window(apacheSim(sc, seed, core.Options{ServerProcesses: n}), sc)
+		t.Row(fmt.Sprintf("%d", n), report.F2(w.IPC()), report.I(w.NetCompleted), report.F1(w.CycleAt.KernelPct()))
+		vals[fmt.Sprintf("done%d", n)] = float64(w.NetCompleted)
+	}
+	text := t.String() + "\nThe paper runs 64 processes; fewer processes leave contexts idle when requests block.\n"
+	return Result{Text: text, Values: vals}
+}
+
+// RenderAll runs every experiment at the given scale and returns the full
+// report (used by cmd/experiments and EXPERIMENTS.md generation).
+func RenderAll(sc Scale, seed uint64) string {
+	var b strings.Builder
+	for _, id := range IDs() {
+		res, err := Run(id, sc, seed)
+		if err != nil {
+			fmt.Fprintf(&b, "%s: %v\n", id, err)
+			continue
+		}
+		fmt.Fprintf(&b, "################ %s — %s\n\n%s\n", res.ID, res.Title, res.Text)
+	}
+	return b.String()
+}
+
+func init() {
+	register("ablation-dma", "Ablation: network-interface DMA on the memory bus (§2.2.1 omission)", ablationDMA)
+	register("ablation-affinity", "Ablation: FIFO vs cache-affinity scheduling (OS-optimization future work)", ablationAffinity)
+}
+
+func ablationDMA(sc Scale, seed uint64) Result {
+	off := window(apacheSim(sc, seed, core.Options{}), sc)
+	on := window(apacheSim(sc, seed, core.Options{ModelNetworkDMA: true}), sc)
+	t := report.NewTable("network DMA", "IPC", "requests done", "L2 miss%")
+	t.Row("omitted (paper)", report.F2(off.IPC()), report.I(off.NetCompleted), report.F2(off.L2.MissRateOverall()))
+	t.Row("modeled", report.F2(on.IPC()), report.I(on.NetCompleted), report.F2(on.L2.MissRateOverall()))
+	text := t.String() + "\nThe paper omits NIC DMA, arguing average memory-bus delay stays insignificant;\n" +
+		"modeling it here should (and does) barely move the bottom line.\n"
+	return Result{Text: text, Values: map[string]float64{
+		"ipcOff": off.IPC(), "ipcOn": on.IPC(),
+	}}
+}
+
+func ablationAffinity(sc Scale, seed uint64) Result {
+	// Oversubscribed machine so scheduling decisions matter: 64 processes
+	// with frequent preemption on 8 contexts.
+	fifo := window(apacheSim(sc, seed, core.Options{}), sc)
+	aff := window(apacheSim(sc, seed, core.Options{AffinityScheduler: true}), sc)
+	t := report.NewTable("scheduler", "IPC", "requests done", "L1D miss%", "DTLB miss%")
+	t.Row("fifo (paper's MP scheduler)", report.F2(fifo.IPC()), report.I(fifo.NetCompleted),
+		report.F2(fifo.L1D.MissRateOverall()), report.F2(fifo.DTLB.MissRateOverall()))
+	t.Row("cache-affinity", report.F2(aff.IPC()), report.I(aff.NetCompleted),
+		report.F2(aff.L1D.MissRateOverall()), report.F2(aff.DTLB.MissRateOverall()))
+	text := t.String() + "\nThe paper leaves SMT-aware scheduling as future work (§2.2.2); this is the\n" +
+		"simplest such policy: keep a thread on the context whose caches it warmed.\n"
+	return Result{Text: text, Values: map[string]float64{
+		"fifoIPC": fifo.IPC(), "affinityIPC": aff.IPC(),
+	}}
+}
+
+func init() {
+	register("ablation-keepalive", "Ablation: one-request connections vs HTTP/1.1 keep-alive", ablationKeepAlive)
+}
+
+func ablationKeepAlive(sc Scale, seed uint64) Result {
+	one := window(apacheSim(sc, seed, core.Options{}), sc)
+	ka := window(apacheSim(sc, seed, core.Options{KeepAliveRequests: 8}), sc)
+	t := report.NewTable("connections", "IPC", "requests done", "accept cyc%", "netisr%")
+	rowFor := func(label string, w report.Snapshot) {
+		t.Row(label, report.F2(w.IPC()), report.I(w.NetCompleted),
+			report.F1(w.CycleAt.PctSyscall(sys.SysAccept)),
+			report.F1(w.CycleAt.PctCat(sys.CatNetisr)))
+	}
+	rowFor("1 request/conn (paper)", one)
+	rowFor("8 requests/conn (keep-alive)", ka)
+	text := t.String() + "\nPersistent connections amortize accept/connection setup across requests —\n" +
+		"a server-structure change the paper's per-request syscall profile (Fig. 7) motivates.\n"
+	return Result{Text: text, Values: map[string]float64{
+		"oneIPC": one.IPC(), "kaIPC": ka.IPC(),
+		"oneDone": float64(one.NetCompleted), "kaDone": float64(ka.NetCompleted),
+	}}
+}
+
+func init() {
+	register("ablation-diskbound", "Ablation: cached vs disk-bound fileset (§2.2.1 speculation)", ablationDiskBound)
+}
+
+func ablationDiskBound(sc Scale, seed uint64) Result {
+	cached := window(apacheSim(sc, seed, core.Options{}), sc)
+	bound := window(apacheSim(sc, seed, core.Options{BufferCacheHitRate: 0.3}), sc)
+	t := report.NewTable("fileset", "IPC", "requests done", "read cyc%", "L1D miss%")
+	rowFor := func(label string, w report.Snapshot) {
+		t.Row(label, report.F2(w.IPC()), report.I(w.NetCompleted),
+			report.F1(w.CycleAt.PctSyscall(sys.SysRead)),
+			report.F2(w.L1D.MissRateOverall()))
+	}
+	rowFor("mostly cached (paper)", cached)
+	rowFor("disk-bound (30% hit)", bound)
+	text := t.String() + "\nThe paper simulates a large fast disk array (zero latency) and notes a\n" +
+		"disk-bound machine could alter behavior; here cache misses still cost the\n" +
+		"driver path and DMA even though the disk itself stays free.\n"
+	return Result{Text: text, Values: map[string]float64{
+		"cachedIPC": cached.IPC(), "boundIPC": bound.IPC(),
+	}}
+}

@@ -1,0 +1,123 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1–7, Tables 2–9), plus the ablations DESIGN.md calls
+// out. Each experiment builds the right simulations, runs a warm-up phase
+// (the paper measures a booted system in steady state over hundreds of
+// millions of instructions), measures a window, and renders the paper's
+// artifact next to the paper's published values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Scale sets the cycle budget of an experiment.
+type Scale struct {
+	// Warmup is the cycles run before measurement begins.
+	Warmup uint64
+	// Measure is the measured window in cycles.
+	Measure uint64
+	// Interval is the 10 ms interrupt granularity in cycles.
+	Interval uint64
+}
+
+// Quick is the test-suite scale (seconds per experiment).
+var Quick = Scale{Warmup: 600_000, Measure: 900_000, Interval: 120_000}
+
+// Full is the reporting scale used for EXPERIMENTS.md.
+var Full = Scale{Warmup: 2_500_000, Measure: 4_000_000, Interval: 200_000}
+
+// Result is one regenerated artifact.
+type Result struct {
+	// ID is the experiment id ("fig1" … "tab9", "ablation-…").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Text is the rendered report.
+	Text string
+	// Values holds the key numbers for tests, benches and EXPERIMENTS.md.
+	Values map[string]float64
+}
+
+// runner builds one experiment.
+type runner struct {
+	title string
+	fn    func(sc Scale, seed uint64) Result
+}
+
+var registry = map[string]runner{}
+
+func register(id, title string, fn func(sc Scale, seed uint64) Result) {
+	registry[id] = runner{title: title, fn: fn}
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates one experiment.
+func Run(id string, sc Scale, seed uint64) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	res := r.fn(sc, seed)
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}
+
+// --------------------------------------------------------------- helpers
+
+// window runs warmup, then measures for sc.Measure cycles and returns the
+// delta snapshot of the measured window.
+func window(sim *core.Simulator, sc Scale) report.Snapshot {
+	sim.Run(sc.Warmup)
+	a := report.Take(sim)
+	sim.Run(sc.Measure)
+	b := report.Take(sim)
+	return report.Delta(a, b)
+}
+
+// phases runs the simulation from cold and returns the start-up window
+// (the first sc.Warmup cycles) and the steady window (the next sc.Measure).
+func phases(sim *core.Simulator, sc Scale) (startup, steady report.Snapshot) {
+	zero := report.Take(sim)
+	sim.Run(sc.Warmup)
+	a := report.Take(sim)
+	sim.Run(sc.Measure)
+	b := report.Take(sim)
+	return report.Delta(zero, a), report.Delta(a, b)
+}
+
+// paperNote renders a "paper reported" reference block.
+func paperNote(lines ...string) string {
+	var b strings.Builder
+	b.WriteString("\nPaper reference (ASPLOS 2000):\n")
+	for _, l := range lines {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}
+
+func specSim(sc Scale, seed uint64, o core.Options) *core.Simulator {
+	o.Seed = seed
+	o.CyclesPer10ms = sc.Interval
+	return core.NewSPECInt(o)
+}
+
+func apacheSim(sc Scale, seed uint64, o core.Options) *core.Simulator {
+	o.Seed = seed
+	o.CyclesPer10ms = sc.Interval
+	return core.NewApache(o)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a minimal scale for smoke tests; shape assertions use Quick.
+var tiny = Scale{Warmup: 250_000, Measure: 350_000, Interval: 80_000}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9",
+		"ablation-fetch", "ablation-contexts", "ablation-idle",
+		"ablation-interrupt", "ablation-procs", "ablation-dma",
+		"ablation-affinity", "ablation-keepalive", "ablation-diskbound",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", tiny, 1); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}
+
+// TestEverySPECIntExperimentRenders smoke-runs the cheap (SPECInt-only)
+// experiments at tiny scale and checks they produce text and values.
+func TestEverySPECIntExperimentRenders(t *testing.T) {
+	for _, id := range []string{"fig1", "fig3", "fig4", "tab2", "tab3"} {
+		res, err := Run(id, tiny, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Text) < 50 || !strings.Contains(res.Text, "Paper reference") {
+			t.Fatalf("%s produced thin output:\n%s", id, res.Text)
+		}
+		if len(res.Values) == 0 {
+			t.Fatalf("%s produced no key values", id)
+		}
+	}
+}
+
+func TestApacheExperimentsRender(t *testing.T) {
+	for _, id := range []string{"fig5", "fig7", "tab5"} {
+		res, err := Run(id, tiny, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Text) < 50 {
+			t.Fatalf("%s produced thin output", id)
+		}
+	}
+}
+
+// TestHeadlineShape asserts the paper's central result at Quick scale:
+// SMT beats the superscalar on Apache by a large factor, and Apache is
+// kernel-dominated.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape needs Quick scale")
+	}
+	res, err := Run("tab6", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values
+	if v["apacheSMTIPC"] <= v["apacheSSIPC"]*2 {
+		t.Fatalf("SMT/SS Apache ratio too small: %.2f vs %.2f", v["apacheSMTIPC"], v["apacheSSIPC"])
+	}
+	if v["specSMTIPC"] <= v["apacheSMTIPC"] {
+		t.Fatalf("SPECInt should out-IPC Apache on SMT: %.2f vs %.2f", v["specSMTIPC"], v["apacheSMTIPC"])
+	}
+
+	res5, err := Run("fig5", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.Values["kernelPct"] < 50 {
+		t.Fatalf("Apache kernel share %.1f%%, expected dominant", res5.Values["kernelPct"])
+	}
+}
+
+// TestOSImpactShape asserts Table 4's shape: adding the OS reduces IPC on
+// both processors.
+func TestOSImpactShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs Quick scale")
+	}
+	res, err := Run("tab4", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values
+	if !(v["ipcSMTApp"] > v["ipcSMTFull"]) {
+		t.Fatalf("OS did not cost SMT anything: %.2f vs %.2f", v["ipcSMTApp"], v["ipcSMTFull"])
+	}
+	if !(v["ipcSSApp"] > v["ipcSSFull"]) {
+		t.Fatalf("OS did not cost the superscalar: %.2f vs %.2f", v["ipcSSApp"], v["ipcSSFull"])
+	}
+	if !(v["ipcSMTFull"] > v["ipcSSFull"]*1.5) {
+		t.Fatalf("SMT not clearly ahead on SPECInt: %.2f vs %.2f", v["ipcSMTFull"], v["ipcSSFull"])
+	}
+}
+
+func TestDeterministicExperiments(t *testing.T) {
+	a, err := Run("fig3", tiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig3", tiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Fatal("experiment output nondeterministic")
+	}
+}
+
+// TestExperimentsProduceStableKeys pins the key-value names benches and
+// docs rely on.
+func TestExperimentsProduceStableKeys(t *testing.T) {
+	wantKeys := map[string][]string{
+		"fig1": {"startupKernelPct", "steadyKernelPct"},
+		"fig3": {"startupAllocPct"},
+		"tab2": {"steadyKernelPhysLoadPct", "steadyUserLoadPct"},
+	}
+	for id, keys := range wantKeys {
+		res, err := Run(id, tiny, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, k := range keys {
+			if _, ok := res.Values[k]; !ok {
+				t.Fatalf("%s missing key %q (has %v)", id, k, res.Values)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package isa defines the Alpha-like instruction abstraction shared by the
+// workload generators, the behavioral kernel model, and the pipeline.
+//
+// The original study executes real Alpha binaries (including PAL code) under
+// SimOS. This reproduction is execution-driven on synthetic instruction
+// streams, so the "ISA" carries exactly the information the microarchitecture
+// reacts to: instruction class, program counter, memory address and
+// addressing mode (virtual vs. physical — kernel code on the Alpha issues
+// many physically-addressed accesses that bypass the TLB, see the paper's
+// Tables 2 and 5), branch outcome and target, and register dependency
+// distances that determine extractable ILP.
+package isa
+
+import "fmt"
+
+// Class is the instruction category, matching the rows of the paper's
+// instruction-mix tables (Tables 2 and 5).
+type Class uint8
+
+const (
+	// IntALU is a simple integer operation (the tables' "remaining integer").
+	IntALU Class = iota
+	// FPALU is a floating-point operation.
+	FPALU
+	// Load reads memory.
+	Load
+	// Store writes memory.
+	Store
+	// CondBranch is a conditional branch.
+	CondBranch
+	// UncondBranch is an unconditional direct branch (including calls).
+	UncondBranch
+	// IndirectJump is a jump through a register (returns, jsr, switch tables).
+	IndirectJump
+	// PALCall enters PAL code (call_pal: callsys, TLB fill, swpipl, ...).
+	PALCall
+	// PALReturn leaves PAL/kernel back toward the interrupted stream.
+	PALReturn
+	// Sync is a synchronization memory operation (load-locked /
+	// store-conditional, memory barrier); it issues to the SMT's dedicated
+	// synchronization units.
+	Sync
+	// Nop does nothing but occupy a slot.
+	Nop
+
+	// NumClasses is the number of instruction classes.
+	NumClasses = int(Nop) + 1
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "FPALU", "Load", "Store", "CondBranch", "UncondBranch",
+	"IndirectJump", "PALCall", "PALReturn", "Sync", "Nop",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsBranch reports whether the class is a control transfer (including PAL
+// entry/return, which the paper counts among branch instructions).
+func (c Class) IsBranch() bool {
+	switch c {
+	case CondBranch, UncondBranch, IndirectJump, PALCall, PALReturn:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool {
+	return c == Load || c == Store || c == Sync
+}
+
+// UsesFP reports whether the class issues to the floating-point units.
+func (c Class) UsesFP() bool { return c == FPALU }
+
+// Mode is the execution mode a cycle or instruction is attributed to.
+// It drives the user/kernel/PAL/idle breakdowns of Figures 1, 5 and 6 and
+// the ownership tags used for conflict-miss classification (Tables 3 and 7).
+type Mode uint8
+
+const (
+	// User is application code.
+	User Mode = iota
+	// Kernel is operating-system code proper.
+	Kernel
+	// PAL is Alpha PALcode (below the OS: TLB fill, syscall entry, SETIPL).
+	PAL
+	// Idle marks cycles with no runnable thread (the OS idle loop is
+	// attributed here, as in Figure 1).
+	Idle
+
+	// NumModes is the number of execution modes.
+	NumModes = int(Idle) + 1
+)
+
+var modeNames = [NumModes]string{"user", "kernel", "pal", "idle"}
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Privileged reports whether the mode executes with kernel privilege
+// (kernel proper or PAL code). For the coarse user-vs-kernel split used in
+// the paper's tables, PAL counts as kernel.
+func (m Mode) Privileged() bool { return m == Kernel || m == PAL }
+
+// Inst is one dynamic instruction as produced by a workload stream.
+//
+// Dep1 and Dep2 are register-dependency distances: the instruction's source
+// operands were produced by the instructions Dep1 and Dep2 positions earlier
+// in the same thread's dynamic stream (0 means no dependency). The pipeline
+// uses them to decide when an instruction's operands are ready; workload
+// generators draw them from per-program distributions, which is what makes
+// kernel code (long dependence chains, little ILP) behave differently from
+// tuned user loops.
+type Inst struct {
+	// PC is the virtual program counter.
+	PC uint64
+	// Addr is the virtual (or physical, if Physical) data address for
+	// memory classes.
+	Addr uint64
+	// Target is the actual target for taken control transfers.
+	Target uint64
+	// Dep1 and Dep2 are backward dependency distances (0 = none).
+	Dep1, Dep2 uint16
+	// Syscall carries the service number for a PALCall that is a system
+	// call entry; 0 otherwise.
+	Syscall uint16
+	// Class is the instruction category.
+	Class Class
+	// Mode is the execution mode the instruction belongs to.
+	Mode Mode
+	// Taken is the actual branch outcome for CondBranch (always true for
+	// other control transfers).
+	Taken bool
+	// Physical marks a memory access that carries a physical address and
+	// bypasses the data TLB (common in kernel code).
+	Physical bool
+	// Size is the access size in bytes for memory classes (default 8).
+	Size uint8
+}
+
+// Latency returns the execution latency in cycles for the instruction's
+// class, excluding memory-hierarchy time (which the pipeline adds from the
+// cache model). The values are characteristic of late-1990s Alpha cores.
+func (in *Inst) Latency() int {
+	switch in.Class {
+	case IntALU, Nop:
+		return 1
+	case FPALU:
+		return 4
+	case Load, Sync:
+		return 1 // address generation; cache time added separately
+	case Store:
+		return 1
+	case CondBranch, UncondBranch, IndirectJump:
+		return 1
+	case PALCall, PALReturn:
+		return 2
+	}
+	return 1
+}
+
+// ControlTransfer reports whether the dynamic instruction redirects the PC:
+// all branch classes, with conditional branches only when taken.
+func (in *Inst) ControlTransfer() bool {
+	if !in.Class.IsBranch() {
+		return false
+	}
+	if in.Class == CondBranch {
+		return in.Taken
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c      Class
+		branch bool
+		mem    bool
+		fp     bool
+	}{
+		{IntALU, false, false, false},
+		{FPALU, false, false, true},
+		{Load, false, true, false},
+		{Store, false, true, false},
+		{Sync, false, true, false},
+		{CondBranch, true, false, false},
+		{UncondBranch, true, false, false},
+		{IndirectJump, true, false, false},
+		{PALCall, true, false, false},
+		{PALReturn, true, false, false},
+		{Nop, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.c.IsBranch(); got != c.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", c.c, got, c.branch)
+		}
+		if got := c.c.IsMem(); got != c.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", c.c, got, c.mem)
+		}
+		if got := c.c.UsesFP(); got != c.fp {
+			t.Errorf("%v.UsesFP() = %v, want %v", c.c, got, c.fp)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if IntALU.String() != "IntALU" || IndirectJump.String() != "IndirectJump" {
+		t.Fatal("class names wrong")
+	}
+	if Class(200).String() == "" {
+		t.Fatal("out-of-range class should still stringify")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{User: "user", Kernel: "kernel", PAL: "pal", Idle: "idle"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestModePrivileged(t *testing.T) {
+	if User.Privileged() || Idle.Privileged() {
+		t.Fatal("user/idle must not be privileged")
+	}
+	if !Kernel.Privileged() || !PAL.Privileged() {
+		t.Fatal("kernel/pal must be privileged")
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		in := Inst{Class: Class(c)}
+		if in.Latency() < 1 {
+			t.Errorf("class %v has latency %d", Class(c), in.Latency())
+		}
+	}
+	fp := Inst{Class: FPALU}
+	alu := Inst{Class: IntALU}
+	if fp.Latency() <= alu.Latency() {
+		t.Fatal("FP should be slower than integer ALU")
+	}
+}
+
+func TestControlTransfer(t *testing.T) {
+	takenBr := Inst{Class: CondBranch, Taken: true}
+	ntBr := Inst{Class: CondBranch, Taken: false}
+	jmp := Inst{Class: IndirectJump}
+	alu := Inst{Class: IntALU, Taken: true}
+	if !takenBr.ControlTransfer() {
+		t.Fatal("taken conditional should transfer")
+	}
+	if ntBr.ControlTransfer() {
+		t.Fatal("not-taken conditional should not transfer")
+	}
+	if !jmp.ControlTransfer() {
+		t.Fatal("indirect jump should transfer")
+	}
+	if alu.ControlTransfer() {
+		t.Fatal("ALU op should not transfer")
+	}
+}

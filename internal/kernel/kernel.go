@@ -1,0 +1,381 @@
+// Package kernel is the behavioral model of Digital Unix 4.0d running on
+// the simulated SMT, as modified by the paper's authors (§2.2.2).
+//
+// It implements pipeline.Feed: for every hardware context it generates the
+// instruction stream the context fetches — interleaving user-program code
+// (from workload.Program models) with the kernel's own synthetic code:
+// system-call services, PAL TLB-miss handlers, the virtual-memory layer,
+// an SMP-style scheduler with Alpha ASN management, netisr protocol-stack
+// threads, interrupt stubs, and the idle loop.
+//
+// The kernel's code regions are synthetic (internal/workload) but laid out
+// in a realistically large kernel text segment, with data split between
+// globally-mapped virtual pages and physically-addressed (TLB-bypassing)
+// accesses, calibrated against the paper's Tables 2 and 5. Everything the
+// paper measures about the OS — cache/TLB/BTB interference between kernel
+// threads, TLB-miss handling cost, syscall time by service, netisr load —
+// is emergent from these streams executing on the pipeline.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/sys"
+	"repro/internal/tlb"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the kernel model.
+type Config struct {
+	// Contexts is the number of hardware contexts fed.
+	Contexts int
+	// Seed drives all kernel-side randomness.
+	Seed uint64
+	// AppOnly selects the paper's application-only methodology (§2.3.1):
+	// system calls and traps complete instantly with no kernel code.
+	AppOnly bool
+	// CyclesPer10ms is the clock/network interrupt granularity in cycles
+	// (the paper's simulated 10 ms; scaled so that multi-interrupt
+	// behavior is observable in laptop-scale runs).
+	CyclesPer10ms uint64
+	// QuantumInsts is the scheduling quantum in user instructions.
+	QuantumInsts uint64
+	// NetisrThreads is the number of netisr kernel threads (the paper's
+	// "set of identical threads responsible for managing the network
+	// protocol stack").
+	NetisrThreads int
+	// MaxASN is the number of address-space numbers before recycling
+	// (Alpha-style); recycling invalidates TLB entries.
+	MaxASN uint16
+	// BufferCacheHitRate is the probability a file read/open is served
+	// from the OS buffer cache; misses execute the disk driver and DMA
+	// (the disk itself is zero-latency, as in the paper's §2.2.1).
+	BufferCacheHitRate float64
+	// ColdBoot skips the pre-mapping of kernel text and data that models
+	// the paper's methodology of measuring a booted, resident OS (SimOS
+	// boots Digital Unix before measurement). With ColdBoot every kernel
+	// page takes the full first-touch VM path during the run.
+	ColdBoot bool
+	// ModelNetworkDMA adds the network interface's DMA transfers to the
+	// memory bus (the paper omits them; §2.2.1 argues the average bus
+	// delay stays insignificant — this flag lets the claim be tested).
+	ModelNetworkDMA bool
+	// AffinityScheduler makes the scheduler prefer re-running a thread on
+	// the hardware context it last used (a cache-affinity policy, in the
+	// spirit of the SMT-aware scheduling the paper lists as future work).
+	AffinityScheduler bool
+	// IdleSpin makes idle contexts execute the OS spin-wait idle loop,
+	// competing for fetch bandwidth — the SMT resource waste the paper
+	// calls out in §2.2.2. The default models a halting idle (WTINT-style):
+	// an idle context fetches nothing until work arrives. Idle cycles are
+	// attributed either way.
+	IdleSpin bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Contexts:           8,
+		Seed:               1,
+		CyclesPer10ms:      2_000_000,
+		QuantumInsts:       400_000,
+		NetisrThreads:      2,
+		MaxASN:             63,
+		BufferCacheHitRate: 0.92,
+	}
+}
+
+// threadState is the scheduler state of a software thread.
+type threadState uint8
+
+const (
+	tsRunnable threadState = iota
+	tsRunning
+	tsBlocked
+	tsExited
+)
+
+// threadKind distinguishes the thread models.
+type threadKind uint8
+
+const (
+	tkUser threadKind = iota
+	tkNetisr
+	tkIdle
+)
+
+// Thread is one software thread known to the scheduler.
+type Thread struct {
+	tid   uint32
+	pid   uint64
+	asn   uint16
+	kind  threadKind
+	state threadState
+	prog  workload.Program
+	// burst is the remaining user instructions of the current StepRun.
+	burst uint64
+	// sinceSched counts user instructions since last scheduling, for the
+	// preemption quantum.
+	sinceSched uint64
+	// lastCtx is the hardware context the thread last ran on.
+	lastCtx int
+	// wakeReq is the blocked syscall to complete when rescheduled.
+	wakeReq *sys.Request
+	// wakeResult is the result to report for wakeReq.
+	wakeResult int
+	// sock is the socket index the thread is blocked on (-1 none).
+	sock int
+}
+
+// TID returns the thread's identifier.
+func (t *Thread) TID() uint32 { return t.tid }
+
+// Kernel implements pipeline.Feed.
+type Kernel struct {
+	cfg Config
+	rng *rng.Rand
+
+	Mem *mem.Memory
+
+	// Hardware hooks, wired after pipeline construction.
+	itlb    *tlb.TLB
+	dtlb    *tlb.TLB
+	hier    cacheInvalidator
+	hierDMA dmaSink
+
+	code *codebase // kernel code regions + walkers
+
+	threads []*Thread
+	runQ    []*Thread
+	feeds   []ctxFeed
+
+	nextASN   uint16
+	asnEpoch  uint64
+	nextTID   uint32
+	nextPID   uint64
+	rrIntCtx  int
+	lastTick  uint64
+	interrupt []int // scratch returned by Cycle
+
+	net *netState
+
+	// Counters surfaced in reports.
+	ContextSwitches uint64
+	Preemptions     uint64
+	SyscallCount    [sys.NumSyscalls]uint64
+	VMFaults        [3]uint64 // indexed by mem.FaultKind
+	ASNRecycles     uint64
+	ClockInterrupts uint64
+	NetInterrupts   uint64
+	IdleScheduled   uint64
+	// SvcInstByRes counts service instructions by resource class, the
+	// grouping of Figure 7's right-hand chart.
+	SvcInstByRes [5]uint64
+	// lockHolder[i] is the thread currently holding the kernel lock for
+	// resource class i (0 = free); LockContentions and SpinInsts count
+	// the resulting spin-waiting.
+	lockHolder      [5]uint32
+	LockContentions uint64
+	SpinInsts       uint64
+	// DiskReads counts buffer-cache misses that ran the disk-driver path.
+	DiskReads uint64
+}
+
+// cacheInvalidator is the slice of the cache hierarchy the kernel needs for
+// the architectural flush commands.
+type cacheInvalidator interface {
+	FlushIRange(base, size uint64)
+	FlushDRange(base, size uint64)
+}
+
+// dmaSink accepts DMA bus traffic (network-interface transfers).
+type dmaSink interface {
+	DMA(n int, now uint64)
+}
+
+// New builds a kernel model. Wire the hardware with AttachEngine before use.
+func New(cfg Config) *Kernel {
+	if cfg.Contexts <= 0 {
+		panic("kernel: no contexts")
+	}
+	if cfg.MaxASN == 0 {
+		cfg.MaxASN = 63
+	}
+	if cfg.CyclesPer10ms == 0 {
+		cfg.CyclesPer10ms = 2_000_000
+	}
+	m, err := mem.NewMemory(mem.AllocatorBytes)
+	if err != nil {
+		panic(fmt.Sprintf("kernel: %v", err))
+	}
+	k := &Kernel{
+		cfg:     cfg,
+		rng:     rng.New(cfg.Seed ^ 0xfeedface),
+		Mem:     m,
+		feeds:   make([]ctxFeed, cfg.Contexts),
+		nextTID: 1,
+		nextPID: 1,
+		nextASN: 1,
+	}
+	k.code = buildCodebase(k.rng.Split(1), cfg.Contexts)
+	k.net = newNetState()
+	for i := range k.feeds {
+		k.feeds[i].init()
+		// Every context gets an idle thread of its own.
+		idle := k.newThread(tkIdle, nil)
+		idle.state = tsRunning
+		k.feeds[i].idle = idle
+		k.feeds[i].cur = idle
+	}
+	for i := 0; i < cfg.NetisrThreads; i++ {
+		n := k.newThread(tkNetisr, nil)
+		n.state = tsBlocked
+		n.sock = -1
+	}
+	if !cfg.ColdBoot {
+		k.prewarm()
+	}
+	return k
+}
+
+// prewarm maps the kernel's text and virtual data pages, modeling the
+// booted, memory-resident OS the paper measures (SimOS checkpoints after
+// boot). TLBs and caches still start cold.
+func (k *Kernel) prewarm() {
+	for _, reg := range k.code.all {
+		if reg.Mode != isa.PAL { // PAL text is physically addressed
+			for va := reg.Base; va < reg.Base+reg.Size(); va += mem.PageSize {
+				k.Mem.Touch(mem.KernelPID, va)
+			}
+		}
+		for _, d := range reg.Data {
+			if d.Physical {
+				continue
+			}
+			for va := d.Base; va < d.Base+d.Size; va += mem.PageSize {
+				k.Mem.Touch(mem.KernelPID, va)
+			}
+		}
+	}
+	// Pre-mapping is setup, not measured workload behavior.
+	k.Mem.Allocs = 0
+	k.Mem.Refills = 0
+}
+
+// AttachEngine wires the kernel to the engine's TLBs and caches. It must be
+// called once before simulation starts.
+func (k *Kernel) AttachEngine(e *pipeline.Engine) {
+	k.itlb = e.ITLB
+	k.dtlb = e.DTLB
+	k.hier = hierAdapter{e}
+	k.hierDMA = e.Hier
+}
+
+type hierAdapter struct{ e *pipeline.Engine }
+
+func (h hierAdapter) FlushIRange(base, size uint64) { h.e.Hier.L1I.InvalidateRange(base, size) }
+func (h hierAdapter) FlushDRange(base, size uint64) { h.e.Hier.L1D.InvalidateRange(base, size) }
+
+// newThread registers a thread.
+func (k *Kernel) newThread(kind threadKind, prog workload.Program) *Thread {
+	t := &Thread{
+		tid:  k.nextTID,
+		kind: kind,
+		prog: prog,
+		sock: -1,
+	}
+	k.nextTID++
+	if kind == tkUser {
+		k.nextPID++
+		t.pid = k.nextPID
+		t.asn = k.allocASN()
+	} else {
+		t.pid = mem.KernelPID
+		t.asn = tlb.GlobalASN
+	}
+	k.threads = append(k.threads, t)
+	return t
+}
+
+// allocASN hands out address-space numbers, recycling (with TLB
+// invalidation, the §2.2.2 modification) when they run out.
+func (k *Kernel) allocASN() uint16 {
+	asn := k.nextASN
+	k.nextASN++
+	if k.nextASN > k.cfg.MaxASN {
+		k.nextASN = 1
+		k.asnEpoch++
+	}
+	if k.asnEpoch > 0 && k.itlb != nil {
+		// The ASN is being reused: flush stale translations.
+		k.itlb.InvalidateASN(asn)
+		k.dtlb.InvalidateASN(asn)
+		k.ASNRecycles++
+	}
+	return asn
+}
+
+// AddProgram registers a user process running prog and makes it runnable.
+// It returns the thread (for tests and reporting).
+func (k *Kernel) AddProgram(prog workload.Program) *Thread {
+	t := k.newThread(tkUser, prog)
+	t.state = tsRunnable
+	k.runQ = append(k.runQ, t)
+	return t
+}
+
+// Threads returns all registered threads.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// ThreadName returns a human-readable name for a thread.
+func (t *Thread) ThreadName() string {
+	switch t.kind {
+	case tkNetisr:
+		return "netisr"
+	case tkIdle:
+		return "idle"
+	}
+	if t.prog != nil {
+		return t.prog.Name()
+	}
+	return "thread"
+}
+
+// wake makes a blocked thread runnable.
+func (k *Kernel) wake(t *Thread) {
+	if t.state != tsBlocked {
+		return
+	}
+	t.state = tsRunnable
+	k.runQ = append(k.runQ, t)
+}
+
+// pickNext pops the next runnable thread for ctx, or nil. Under the
+// affinity policy, a thread that last ran on ctx is preferred (its cache
+// and TLB state may survive).
+func (k *Kernel) pickNext(ctx int) *Thread {
+	if k.cfg.AffinityScheduler {
+		for i, t := range k.runQ {
+			if t.state == tsRunnable && t.lastCtx == ctx {
+				k.runQ = append(k.runQ[:i], k.runQ[i+1:]...)
+				t.state = tsRunning
+				t.lastCtx = ctx
+				return t
+			}
+		}
+	}
+	for len(k.runQ) > 0 {
+		t := k.runQ[0]
+		k.runQ = k.runQ[1:]
+		if t.state == tsRunnable {
+			t.state = tsRunning
+			t.lastCtx = ctx
+			return t
+		}
+	}
+	return nil
+}

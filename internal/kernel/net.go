@@ -1,0 +1,287 @@
+package kernel
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sys"
+)
+
+// Frame is one unit of network traffic crossing the simulated NIC (a
+// request or response segment on a connection).
+type Frame struct {
+	// Conn identifies the connection.
+	Conn int
+	// Bytes is the payload size.
+	Bytes int
+	// Open marks a new connection (SYN); Close tears it down (FIN).
+	Open, Close bool
+	// Ack marks a bare acknowledgment: protocol-stack work with no data
+	// to deliver.
+	Ack bool
+}
+
+// NIC is the device interface the network simulator implements. The kernel
+// polls it at the 10 ms interrupt granularity (§2.3: the simulated network
+// cards interrupt the CPUs at a time granularity of 10 ms) and transmits
+// server responses through it.
+type NIC interface {
+	// Tick advances the network to cycle now and returns the frames that
+	// arrived at the host since the last tick.
+	Tick(now uint64) []Frame
+	// Transmit sends a frame from the host toward the clients.
+	Transmit(fr Frame, now uint64)
+}
+
+// socket is a kernel socket: either the listen socket (accept queue) or a
+// connection socket (byte stream).
+type socket struct {
+	id      int
+	listen  bool
+	conn    int
+	acceptQ []int
+	data    int
+	closed  bool
+	waiters []*Thread
+}
+
+// netState is the kernel's network stack state.
+type netState struct {
+	nic     NIC
+	socks   []*socket
+	byConn  map[int]int // connection id -> socket id
+	pending []Frame     // frames awaiting netisr processing
+	now     uint64
+	// Delivered counts frames fully processed by netisr.
+	Delivered uint64
+	// Dropped counts frames for unknown connections.
+	Dropped uint64
+}
+
+func newNetState() *netState {
+	ns := &netState{byConn: map[int]int{}}
+	// Socket 0 is the server's listen socket.
+	ns.socks = append(ns.socks, &socket{id: 0, listen: true})
+	return ns
+}
+
+func (ns *netState) tick(now uint64) []Frame {
+	ns.now = now
+	if ns.nic == nil {
+		return nil
+	}
+	return ns.nic.Tick(now)
+}
+
+func (ns *netState) sock(id int) *socket {
+	if id < 0 || id >= len(ns.socks) {
+		return nil
+	}
+	return ns.socks[id]
+}
+
+// SetNIC attaches the network simulator.
+func (k *Kernel) SetNIC(n NIC) { k.net.nic = n }
+
+// ConnOf returns the connection id behind a socket file descriptor (-1 if
+// unknown); workload models use it to ask the client driver what a request
+// is for.
+func (k *Kernel) ConnOf(fd int) int {
+	s := k.net.sock(fd)
+	if s == nil || s.listen {
+		return -1
+	}
+	return s.conn
+}
+
+// ListenFD is the file descriptor of the server's listen socket.
+const ListenFD = 0
+
+// netisrBatch is the number of frames one netisr activation processes.
+const netisrBatch = 4
+
+// netisrStep pushes one batch of protocol-stack work for a netisr thread;
+// it returns false when no frames are pending.
+func (k *Kernel) netisrStep(ctx int, t *Thread) bool {
+	ns := k.net
+	if len(ns.pending) == 0 {
+		return false
+	}
+	n := len(ns.pending)
+	if n > netisrBatch {
+		n = netisrBatch
+	}
+	batch := make([]Frame, n)
+	copy(batch, ns.pending[:n])
+	ns.pending = ns.pending[n:]
+	f := &k.feeds[ctx]
+	f.push(genEntry{
+		g:    k.code.netisr.limit(ctx, n*netisrFrameLen),
+		tmpl: kthreadTmpl(t.tid, sys.CatNetisr),
+		onDone: func() {
+			k.unlock(sys.ResNet, t.tid)
+			k.deliverFrames(batch)
+		},
+	})
+	k.pushLockAcquire(ctx, t, sys.ResNet, sys.CatNetisr, 0)
+	return true
+}
+
+// deliverFrames demuxes processed frames into sockets and wakes waiters.
+func (k *Kernel) deliverFrames(frames []Frame) {
+	ns := k.net
+	for _, fr := range frames {
+		switch {
+		case fr.Ack:
+			// Pure protocol work; nothing delivered to a socket.
+		case fr.Open:
+			s := &socket{id: len(ns.socks), conn: fr.Conn, data: fr.Bytes}
+			ns.socks = append(ns.socks, s)
+			ns.byConn[fr.Conn] = s.id
+			ls := ns.socks[ListenFD]
+			ls.acceptQ = append(ls.acceptQ, s.id)
+			if w := popWaiter(ls); w != nil {
+				k.completeAccept(w, ls)
+			}
+		default:
+			sid, ok := ns.byConn[fr.Conn]
+			if !ok {
+				ns.Dropped++
+				continue
+			}
+			s := ns.socks[sid]
+			if fr.Close {
+				s.closed = true
+			} else {
+				s.data += fr.Bytes
+			}
+			if w := popWaiter(s); w != nil {
+				k.completeRead(w, s)
+			}
+		}
+		ns.Delivered++
+	}
+}
+
+// popWaiter removes and returns the oldest thread sleeping on a socket.
+func popWaiter(s *socket) *Thread {
+	if len(s.waiters) == 0 {
+		return nil
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	return w
+}
+
+// completeAccept finishes a blocked accept: pop a pending connection.
+func (k *Kernel) completeAccept(t *Thread, ls *socket) {
+	if len(ls.acceptQ) == 0 {
+		ls.waiters = append(ls.waiters, t)
+		return
+	}
+	sid := ls.acceptQ[0]
+	ls.acceptQ = ls.acceptQ[1:]
+	t.wakeResult = sid
+	k.wake(t)
+}
+
+// completeRead finishes a blocked read: report available bytes (0 = peer
+// closed).
+func (k *Kernel) completeRead(t *Thread, s *socket) {
+	n := s.data
+	s.data = 0
+	if n == 0 && !s.closed {
+		s.waiters = append(s.waiters, t)
+		return
+	}
+	t.wakeResult = n
+	k.wake(t)
+}
+
+// syscallEffect applies a system call's semantic effect and returns its
+// result, or block=true if the calling thread must sleep.
+func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool) {
+	ns := k.net
+	switch req.Num {
+	case sys.SysAccept:
+		ls := ns.sock(ListenFD)
+		if ls == nil {
+			return -1, false
+		}
+		if len(ls.acceptQ) > 0 {
+			sid := ls.acceptQ[0]
+			ls.acceptQ = ls.acceptQ[1:]
+			return sid, false
+		}
+		ls.waiters = append(ls.waiters, t)
+		return 0, true
+	case sys.SysSelect:
+		// Used non-blocking by the server model: report readiness.
+		ls := ns.sock(ListenFD)
+		if ls != nil && len(ls.acceptQ) > 0 {
+			return 1, false
+		}
+		if req.Blocking {
+			ls.waiters = append(ls.waiters, t)
+			return 0, true
+		}
+		return 0, false
+	case sys.SysRead:
+		if req.Resource == sys.ResNet {
+			s := ns.sock(req.FD)
+			if s == nil {
+				return -1, false
+			}
+			if s.data > 0 || s.closed {
+				n := s.data
+				s.data = 0
+				return n, false
+			}
+			if !req.Blocking {
+				return 0, false
+			}
+			s.waiters = append(s.waiters, t)
+			return 0, true
+		}
+		return req.Bytes, false
+	case sys.SysWrite, sys.SysWritev:
+		if req.Resource == sys.ResNet {
+			s := ns.sock(req.FD)
+			if s != nil && ns.nic != nil {
+				ns.nic.Transmit(Frame{Conn: s.conn, Bytes: req.Bytes}, ns.now)
+			}
+		}
+		return req.Bytes, false
+	case sys.SysClose:
+		if req.Resource == sys.ResNet {
+			s := ns.sock(req.FD)
+			if s != nil {
+				s.closed = true
+				delete(ns.byConn, s.conn)
+				if ns.nic != nil {
+					ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
+				}
+			}
+		}
+		return 0, false
+	case sys.SysSmmap:
+		// Mapping is lazy (first touch faults); nothing to do eagerly.
+		return 0, false
+	case sys.SysMunmap:
+		// Unmap the page, with the TLB and cache invalidations the SMT
+		// port performs in place of an SMP shootdown (§2.2.2).
+		if req.Addr != 0 {
+			if paddr, ok := k.Mem.Translate(t.pid, req.Addr); ok {
+				base := paddr &^ uint64(mem.PageMask)
+				k.hier.FlushDRange(base, mem.PageSize)
+			}
+			k.Mem.Unmap(t.pid, req.Addr)
+			k.dtlb.InvalidatePage(t.asn, req.Addr)
+			k.itlb.InvalidatePage(t.asn, req.Addr)
+		}
+		return 0, false
+	case sys.SysStat, sys.SysOpen, sys.SysIoctl, sys.SysGetpid, sys.SysSigaction:
+		return 0, false
+	case sys.SysFork, sys.SysExec:
+		return int(t.pid), false
+	}
+	return 0, false
+}

@@ -1,0 +1,303 @@
+// Package mem models the machine's physical memory and per-process virtual
+// address spaces: page tables, a physical-frame allocator, and the
+// translation step used by the TLB-refill path of the behavioral kernel.
+//
+// The simulated machine follows the paper's Table 1: 128 MB of physical
+// memory. Pages are 8 KB, as on the Alpha 21264. Virtual-to-physical
+// mappings are created on first touch by the kernel's memory-management
+// model — first-touch page allocation is what dominates the kernel
+// memory-management entries of the paper's Figure 3.
+package mem
+
+import "fmt"
+
+const (
+	// PageShift is log2 of the page size (8 KB pages, as on Alpha).
+	PageShift = 13
+	// PageSize is the virtual-memory page size in bytes.
+	PageSize = 1 << PageShift
+	// PageMask masks the offset within a page.
+	PageMask = PageSize - 1
+)
+
+// VPN returns the virtual page number of a virtual address.
+func VPN(vaddr uint64) uint64 { return vaddr >> PageShift }
+
+// FrameBase returns the first physical address of a physical frame number.
+func FrameBase(pfn uint64) uint64 { return pfn << PageShift }
+
+// Canonical address-space layout used by the synthetic workloads. Each
+// process's regions are offset by its PID so that distinct processes have
+// distinct virtual PCs and data addresses (they also map to distinct
+// physical frames).
+const (
+	// UserTextBase is the base virtual address of user program text.
+	UserTextBase = 0x0000_0001_2000_0000
+	// UserDataBase is the base virtual address of user data/heap.
+	UserDataBase = 0x0000_0002_0000_0000
+	// UserStackBase is the base virtual address of user stacks.
+	UserStackBase = 0x0000_0003_f000_0000
+	// PIDStride separates the address regions of different processes.
+	PIDStride = 0x0000_0010_0000_0000
+
+	// KernelTextBase is the base of the (shared, globally mapped) kernel
+	// text region, mimicking the Alpha's high kseg addresses.
+	KernelTextBase = 0xffff_fc00_0000_0000
+	// KernelDataBase is the base of kernel data structures.
+	KernelDataBase = 0xffff_fd00_0000_0000
+	// PALTextBase is the base of PALcode, below the OS proper.
+	PALTextBase = 0xffff_fe00_0000_0000
+)
+
+// KernelPID is the process ID that owns the shared kernel address space.
+const KernelPID = 0
+
+// Physical-memory layout of the simulated 128 MB machine (Table 1). The
+// page allocator hands out frames below KernelPhysBase; the ranges above it
+// are reserved for the kernel's directly (physically) addressed data and
+// for PALcode, mirroring how Alpha PAL and kseg data sit outside the paged
+// pool.
+const (
+	// PhysMemBytes is the machine's physical memory size.
+	PhysMemBytes = 128 << 20
+	// AllocatorBytes is the portion managed by the page allocator.
+	AllocatorBytes = 96 << 20
+	// KernelPhysBase..KernelPhysBase+KernelPhysSize is the kernel's
+	// physically-addressed data region (TLB-bypassing accesses).
+	KernelPhysBase = 96 << 20
+	// KernelPhysSize is the size of the kernel physical data region.
+	KernelPhysSize = 28 << 20
+	// PALPhysBase..PALPhysBase+PALPhysSize holds PALcode text.
+	PALPhysBase = 124 << 20
+	// PALPhysSize is the size of the PAL text region.
+	PALPhysSize = 4 << 20
+)
+
+// IsKernelAddr reports whether a virtual address lies in the shared kernel
+// (or PAL) region.
+func IsKernelAddr(vaddr uint64) bool { return vaddr >= KernelTextBase }
+
+// FaultKind classifies why the kernel VM model was entered for an address,
+// feeding the paper's Figure 3 (incursions into kernel memory management).
+type FaultKind uint8
+
+const (
+	// FaultNone: the mapping already existed; only a TLB refill was needed.
+	FaultNone FaultKind = iota
+	// FaultPageAlloc: first touch; a physical frame was allocated.
+	FaultPageAlloc
+	// FaultReclaim: allocation required reclaiming a frame from another
+	// mapping (memory pressure).
+	FaultReclaim
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "tlb-refill"
+	case FaultPageAlloc:
+		return "page-alloc"
+	case FaultReclaim:
+		return "page-reclaim"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// mapping records one virtual page's frame, for reclaim bookkeeping.
+type mapping struct {
+	pid uint64
+	vpn uint64
+}
+
+// Memory is the machine's physical memory plus all page tables.
+type Memory struct {
+	// shared lists user-space address ranges whose mappings are common to
+	// all processes (e.g. the text of a forked server: all Apache
+	// processes execute one set of physical pages).
+	shared []struct{ base, end uint64 }
+
+	frames     uint64 // total physical frames
+	nextFrame  uint64 // bump pointer
+	free       []uint64
+	owners     []mapping // indexed by pfn: current owner, for reclaim
+	fifo       []uint64  // allocation order, for FIFO reclaim
+	fifoHead   int
+	tables     map[uint64]map[uint64]uint64 // pid -> vpn -> pfn
+	reserved   uint64                       // frames reserved for kernel text/data
+	Allocs     uint64                       // frames allocated (Figure 3: page allocation)
+	Reclaims   uint64                       // frames reclaimed under pressure
+	Refills    uint64                       // translations that only refilled the TLB
+	Unmappings uint64                       // explicit unmaps (munmap, exit)
+}
+
+// NewMemory returns a Memory with the given physical size in bytes.
+// Sizes below one page are rejected.
+func NewMemory(physBytes uint64) (*Memory, error) {
+	if physBytes < PageSize {
+		return nil, fmt.Errorf("mem: physical size %d smaller than one page", physBytes)
+	}
+	m := &Memory{
+		frames: physBytes >> PageShift,
+		tables: make(map[uint64]map[uint64]uint64),
+	}
+	m.owners = make([]mapping, m.frames)
+	return m, nil
+}
+
+// Frames returns the number of physical frames.
+func (m *Memory) Frames() uint64 { return m.frames }
+
+// FramesInUse returns the number of currently allocated frames.
+func (m *Memory) FramesInUse() uint64 {
+	return m.nextFrame - uint64(len(m.free))
+}
+
+// ShareRange declares [base, base+size) as shared among all processes:
+// every process maps those pages to the same frames (forked program text,
+// shared libraries).
+func (m *Memory) ShareRange(base, size uint64) {
+	m.shared = append(m.shared, struct{ base, end uint64 }{base, base + size})
+}
+
+// isShared reports whether vaddr falls in a shared user range.
+func (m *Memory) isShared(vaddr uint64) bool {
+	for _, r := range m.shared {
+		if vaddr >= r.base && vaddr < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// table returns (creating if needed) the page table for pid. Kernel-region
+// addresses and shared user ranges always use the shared kernel table
+// regardless of pid.
+func (m *Memory) table(pid uint64, vaddr uint64) (uint64, map[uint64]uint64) {
+	if IsKernelAddr(vaddr) || m.isShared(vaddr) {
+		pid = KernelPID
+	}
+	t := m.tables[pid]
+	if t == nil {
+		t = make(map[uint64]uint64)
+		m.tables[pid] = t
+	}
+	return pid, t
+}
+
+// Translate looks up the physical address for (pid, vaddr). ok is false if
+// the page is not mapped; the caller (the kernel VM model) must then call
+// Touch to establish the mapping.
+func (m *Memory) Translate(pid uint64, vaddr uint64) (paddr uint64, ok bool) {
+	_, t := m.table(pid, vaddr)
+	pfn, ok := t[VPN(vaddr)]
+	if !ok {
+		return 0, false
+	}
+	return FrameBase(pfn) | (vaddr & PageMask), true
+}
+
+// Touch ensures (pid, vaddr) is mapped, allocating (and if necessary
+// reclaiming) a frame, and returns the physical address plus the kind of
+// memory-management work that was required. This is the operation the
+// kernel's page-fault / TLB-miss path performs.
+func (m *Memory) Touch(pid uint64, vaddr uint64) (paddr uint64, kind FaultKind) {
+	owner, t := m.table(pid, vaddr)
+	vpn := VPN(vaddr)
+	if pfn, ok := t[vpn]; ok {
+		m.Refills++
+		return FrameBase(pfn) | (vaddr & PageMask), FaultNone
+	}
+	pfn, reclaimed := m.allocFrame()
+	t[vpn] = pfn
+	m.owners[pfn] = mapping{pid: owner, vpn: vpn}
+	m.fifo = append(m.fifo, pfn)
+	kind = FaultPageAlloc
+	m.Allocs++
+	if reclaimed {
+		kind = FaultReclaim
+		m.Reclaims++
+	}
+	return FrameBase(pfn) | (vaddr & PageMask), kind
+}
+
+// allocFrame returns a free frame, reclaiming the oldest allocation (FIFO)
+// when physical memory is exhausted — a deliberately simple model of paging
+// under pressure (the paper simulates a zero-latency disk, so reclaim cost
+// is the kernel code executed, not disk time).
+func (m *Memory) allocFrame() (pfn uint64, reclaimed bool) {
+	if n := len(m.free); n > 0 {
+		pfn = m.free[n-1]
+		m.free = m.free[:n-1]
+		return pfn, false
+	}
+	if m.nextFrame < m.frames {
+		pfn = m.nextFrame
+		m.nextFrame++
+		return pfn, false
+	}
+	// Reclaim the oldest mapped frame.
+	for m.fifoHead < len(m.fifo) {
+		victim := m.fifo[m.fifoHead]
+		m.fifoHead++
+		own := m.owners[victim]
+		t := m.tables[own.pid]
+		if t != nil {
+			if cur, ok := t[own.vpn]; ok && cur == victim {
+				delete(t, own.vpn)
+				return victim, true
+			}
+		}
+	}
+	// All fifo entries were stale (unmapped); compact and retry.
+	m.fifo = m.fifo[:0]
+	m.fifoHead = 0
+	for pid, t := range m.tables {
+		for vpn, pfn := range t {
+			m.owners[pfn] = mapping{pid: pid, vpn: vpn}
+			m.fifo = append(m.fifo, pfn)
+		}
+	}
+	if len(m.fifo) == 0 {
+		panic("mem: no frames to reclaim")
+	}
+	victim := m.fifo[0]
+	m.fifoHead = 1
+	own := m.owners[victim]
+	delete(m.tables[own.pid], own.vpn)
+	return victim, true
+}
+
+// Unmap removes the mapping for one page if present (munmap). The frame
+// returns to the free list.
+func (m *Memory) Unmap(pid uint64, vaddr uint64) bool {
+	_, t := m.table(pid, vaddr)
+	vpn := VPN(vaddr)
+	pfn, ok := t[vpn]
+	if !ok {
+		return false
+	}
+	delete(t, vpn)
+	m.free = append(m.free, pfn)
+	m.Unmappings++
+	return true
+}
+
+// ReleaseProcess drops every user-region mapping of a process (exit).
+func (m *Memory) ReleaseProcess(pid uint64) int {
+	if pid == KernelPID {
+		return 0
+	}
+	t := m.tables[pid]
+	n := 0
+	for vpn, pfn := range t {
+		delete(t, vpn)
+		m.free = append(m.free, pfn)
+		n++
+	}
+	m.Unmappings += uint64(n)
+	return n
+}
+
+// MappedPages returns the number of pages mapped for pid (kernel uses
+// KernelPID).
+func (m *Memory) MappedPages(pid uint64) int { return len(m.tables[pid]) }

@@ -1,0 +1,206 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMemoryRejectsTiny(t *testing.T) {
+	if _, err := NewMemory(100); err == nil {
+		t.Fatal("expected error for sub-page memory")
+	}
+}
+
+func TestTouchThenTranslate(t *testing.T) {
+	m, err := NewMemory(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := uint64(UserDataBase + 0x1234)
+	if _, ok := m.Translate(5, va); ok {
+		t.Fatal("unmapped address translated")
+	}
+	pa, kind := m.Touch(5, va)
+	if kind != FaultPageAlloc {
+		t.Fatalf("first touch kind = %v, want page-alloc", kind)
+	}
+	if pa&PageMask != va&PageMask {
+		t.Fatal("page offset not preserved")
+	}
+	pa2, ok := m.Translate(5, va)
+	if !ok || pa2 != pa {
+		t.Fatalf("Translate = %#x,%v; want %#x,true", pa2, ok, pa)
+	}
+	// Second touch is a refill only.
+	_, kind = m.Touch(5, va+8)
+	if kind != FaultNone {
+		t.Fatalf("second touch kind = %v, want tlb-refill", kind)
+	}
+	if m.Allocs != 1 || m.Refills != 1 {
+		t.Fatalf("counters: allocs=%d refills=%d", m.Allocs, m.Refills)
+	}
+}
+
+func TestProcessIsolation(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	va := uint64(UserDataBase + 0x40)
+	pa1, _ := m.Touch(1, va)
+	pa2, _ := m.Touch(2, va)
+	if pa1 == pa2 {
+		t.Fatal("two processes share a frame for the same user vaddr")
+	}
+}
+
+func TestKernelRegionShared(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	va := uint64(KernelTextBase + 0x100)
+	pa1, _ := m.Touch(1, va)
+	pa2, kind := m.Touch(2, va)
+	if pa1 != pa2 {
+		t.Fatal("kernel address not shared across processes")
+	}
+	if kind != FaultNone {
+		t.Fatal("second process touching shared kernel page should refill")
+	}
+}
+
+func TestReclaimUnderPressure(t *testing.T) {
+	// 16 frames total.
+	m, _ := NewMemory(16 * PageSize)
+	for i := uint64(0); i < 16; i++ {
+		if _, kind := m.Touch(1, UserDataBase+i*PageSize); kind != FaultPageAlloc {
+			t.Fatalf("frame %d: kind %v", i, kind)
+		}
+	}
+	_, kind := m.Touch(1, UserDataBase+16*PageSize)
+	if kind != FaultReclaim {
+		t.Fatalf("kind = %v, want page-reclaim", kind)
+	}
+	// The oldest page (index 0) should have been evicted.
+	if _, ok := m.Translate(1, UserDataBase); ok {
+		t.Fatal("oldest page still mapped after reclaim")
+	}
+	if m.Reclaims != 1 {
+		t.Fatalf("Reclaims = %d", m.Reclaims)
+	}
+}
+
+func TestUnmapAndReuse(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	va := uint64(UserDataBase)
+	m.Touch(3, va)
+	if !m.Unmap(3, va) {
+		t.Fatal("Unmap failed")
+	}
+	if m.Unmap(3, va) {
+		t.Fatal("double Unmap succeeded")
+	}
+	if _, ok := m.Translate(3, va); ok {
+		t.Fatal("unmapped page still translates")
+	}
+	inUse := m.FramesInUse()
+	m.Touch(3, va+PageSize)
+	if m.FramesInUse() != inUse+1 {
+		t.Fatal("freed frame not reused from free list accounting")
+	}
+}
+
+func TestReleaseProcess(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	for i := uint64(0); i < 10; i++ {
+		m.Touch(7, UserDataBase+i*PageSize)
+	}
+	m.Touch(7, KernelTextBase) // kernel page must survive
+	if n := m.ReleaseProcess(7); n != 10 {
+		t.Fatalf("released %d pages, want 10", n)
+	}
+	if m.MappedPages(7) != 0 {
+		t.Fatal("user pages remain after release")
+	}
+	if _, ok := m.Translate(7, KernelTextBase); !ok {
+		t.Fatal("kernel page lost on process release")
+	}
+}
+
+func TestReleaseKernelPIDIsNoop(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	m.Touch(1, KernelTextBase)
+	if n := m.ReleaseProcess(KernelPID); n != 0 {
+		t.Fatalf("released %d kernel pages", n)
+	}
+}
+
+// Property: translation is stable and offset-preserving for any address,
+// and two touches of the same page yield the same frame.
+func TestTranslateProperties(t *testing.T) {
+	m, _ := NewMemory(1 << 22)
+	f := func(off uint32, pidSel uint8) bool {
+		pid := uint64(pidSel%4) + 1
+		va := UserDataBase + uint64(off)
+		pa1, _ := m.Touch(pid, va)
+		pa2, ok := m.Translate(pid, va)
+		if !ok || pa1 != pa2 {
+			return false
+		}
+		if pa1&PageMask != va&PageMask {
+			return false
+		}
+		paSame, _ := m.Touch(pid, (va&^uint64(PageMask))|0x7)
+		return paSame>>PageShift == pa1>>PageShift
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsKernelAddr(t *testing.T) {
+	if IsKernelAddr(UserTextBase) || IsKernelAddr(UserStackBase) {
+		t.Fatal("user address classified as kernel")
+	}
+	if !IsKernelAddr(KernelTextBase) || !IsKernelAddr(PALTextBase) || !IsKernelAddr(KernelDataBase) {
+		t.Fatal("kernel address not classified as kernel")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if FaultNone.String() != "tlb-refill" || FaultPageAlloc.String() != "page-alloc" ||
+		FaultReclaim.String() != "page-reclaim" {
+		t.Fatal("FaultKind strings wrong")
+	}
+	if FaultKind(9).String() == "" {
+		t.Fatal("unknown kind should stringify")
+	}
+}
+
+func TestExhaustionRecyclesForever(t *testing.T) {
+	m, _ := NewMemory(8 * PageSize)
+	for i := uint64(0); i < 100; i++ {
+		m.Touch(1, UserDataBase+i*PageSize)
+	}
+	if m.FramesInUse() > 8 {
+		t.Fatalf("in use %d > 8 frames", m.FramesInUse())
+	}
+	if m.Reclaims == 0 {
+		t.Fatal("no reclaims recorded under heavy pressure")
+	}
+}
+
+func TestSharedRange(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	base := uint64(UserTextBase)
+	m.ShareRange(base, 4*PageSize)
+	pa1, _ := m.Touch(1, base+100)
+	pa2, kind := m.Touch(2, base+100)
+	if pa1 != pa2 {
+		t.Fatal("shared range not shared across processes")
+	}
+	if kind != FaultNone {
+		t.Fatal("second process should refill, not allocate")
+	}
+	// Outside the range stays private.
+	p1, _ := m.Touch(1, base+10*PageSize)
+	p2, _ := m.Touch(2, base+10*PageSize)
+	if p1 == p2 {
+		t.Fatal("private pages shared")
+	}
+}

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// randomFeed builds a deterministic pseudo-random instruction buffer from a
+// seed, covering every instruction class the pipeline accepts. The feed is
+// sized for the full 8-context machine; only nctx contexts carry work.
+func randomFeed(seed uint64, nctx, perCtx int) *testFeed {
+	f := newTestFeed(8)
+	r := rng.New(seed)
+	for ctx := 0; ctx < nctx; ctx++ {
+		base := 0x12000000 + uint64(ctx)<<20 + uint64(ctx)*2048
+		for i := 0; i < perCtx; i++ {
+			in := userALU(base+uint64(i%512)*4, uint16(r.Intn(6)))
+			in.TID = uint32(ctx + 1)
+			in.ASN = uint16(ctx + 1)
+			switch r.Intn(10) {
+			case 0:
+				in.Class = isa.Load
+				in.Addr = 0x20000000 + uint64(ctx)<<24 + uint64(r.Intn(64))*512
+			case 1:
+				in.Class = isa.Store
+				in.Addr = 0x20000000 + uint64(ctx)<<24 + uint64(r.Intn(64))*512
+			case 2:
+				in.Class = isa.CondBranch
+				in.Taken = r.Bool(0.5)
+				in.Target = in.PC + uint64(4+r.Intn(16)*4)
+			case 3:
+				in.Class = isa.FPALU
+			case 4:
+				in.Class = isa.Sync
+				in.Addr = 0x20000000 + uint64(ctx)<<24 + uint64(r.Intn(16))*512
+			}
+			f.bufs[ctx] = append(f.bufs[ctx], in)
+		}
+	}
+	return f
+}
+
+// TestPipelinePropertyInvariants runs random programs and checks the
+// engine's structural invariants plus conservation laws hold at every
+// sampled point.
+func TestPipelinePropertyInvariants(t *testing.T) {
+	prop := func(seedRaw uint16, interruptAt uint8) bool {
+		seed := uint64(seedRaw) + 1
+		f := randomFeed(seed, 4, 150)
+		f.interrupts[uint64(interruptAt)*7+50] = []int{int(seed % 4)}
+		e := New(SMTConfig(), f, cache.NewHierarchy(cache.DefaultHierConfig()))
+		f.e = e
+		for i := 0; i < 20; i++ {
+			e.Run(200)
+			e.CheckInvariants()
+			inFlight := e.Metrics.Fetched - e.Metrics.Retired - e.Metrics.Squashed
+			if inFlight > uint64(e.Cfg.Contexts*e.Cfg.ROBSize) {
+				return false
+			}
+			if e.Mix.TotalAll() != e.Metrics.Retired {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineRetirementOrderProperty verifies per-context program-order
+// retirement over random programs.
+func TestPipelineRetirementOrderProperty(t *testing.T) {
+	prop := func(seedRaw uint16) bool {
+		f := randomFeed(uint64(seedRaw)+99, 3, 120)
+		e := New(SMTConfig(), f, cache.NewHierarchy(cache.DefaultHierConfig()))
+		f.e = e
+		e.Run(20_000)
+		for ctx := range f.retired {
+			for i := 1; i < len(f.retired[ctx]); i++ {
+				if f.retired[ctx][i] != f.retired[ctx][i-1]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

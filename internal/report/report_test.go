@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func smallSim() *core.Simulator {
+	return core.NewSPECInt(core.Options{Seed: 1, CyclesPer10ms: 100_000})
+}
+
+func TestSnapshotDeltaConsistency(t *testing.T) {
+	sim := smallSim()
+	sim.Run(200_000)
+	a := Take(sim)
+	sim.Run(200_000)
+	b := Take(sim)
+	d := Delta(a, b)
+	if d.Metrics.Cycles != 200_000 {
+		t.Fatalf("window cycles = %d", d.Metrics.Cycles)
+	}
+	if d.Metrics.Retired == 0 {
+		t.Fatal("no retirement in window")
+	}
+	if d.Metrics.Retired != b.Metrics.Retired-a.Metrics.Retired {
+		t.Fatal("retired delta wrong")
+	}
+	// Context-cycles in the window = cycles × contexts.
+	if d.CycleAt.Total != 200_000*8 {
+		t.Fatalf("context-cycles = %d", d.CycleAt.Total)
+	}
+	// Rates computable and sane.
+	if d.IPC() <= 0 || d.IPC() > 8 {
+		t.Fatalf("IPC = %.2f", d.IPC())
+	}
+	if r := d.L1D.MissRateOverall(); r < 0 || r > 100 {
+		t.Fatalf("L1D miss rate = %.2f", r)
+	}
+}
+
+func TestDeltaOfSameSnapshotIsZero(t *testing.T) {
+	sim := smallSim()
+	sim.Run(100_000)
+	a := Take(sim)
+	d := Delta(a, a)
+	if d.Metrics.Cycles != 0 || d.Metrics.Retired != 0 || d.CycleAt.Total != 0 ||
+		d.L1I.TotalMisses() != 0 || d.BpLookups[0] != 0 {
+		t.Fatal("self-delta not zero")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	sim := smallSim()
+	sim.Run(150_000)
+	a := Take(sim)
+	sim.Run(150_000)
+	w := Delta(a, Take(sim))
+	out := Summary("test window", w)
+	for _, want := range []string{"IPC", "mode cycles", "caches:", "kernel categories", "events:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("a", "longer-header")
+	tb.Row("1", "2")
+	tb.Row("333333", "4")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	// All lines padded to same prefix width.
+	if !strings.Contains(lines[0], "longer-header") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+func TestStructStatsHelpers(t *testing.T) {
+	var s StructStats
+	if s.MissRate(false) != 0 || s.MissRateOverall() != 0 || s.AvoidedPct(false, false) != 0 {
+		t.Fatal("zero-value stats should report zeros")
+	}
+	s.Accesses[0] = 10
+	s.Misses[0] = 5
+	if s.MissRate(false) != 50 || s.MissRateOverall() != 50 {
+		t.Fatal("miss rates wrong")
+	}
+	s.Shared.Avoided[1][1] = 5
+	if s.AvoidedPct(true, true) != 100 {
+		t.Fatalf("avoided pct = %.1f", s.AvoidedPct(true, true))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Fatal("F1 wrong")
+	}
+	if F2(1.255) == "" || I(42) != "42" {
+		t.Fatal("formatters wrong")
+	}
+}
+
+func TestPerProgram(t *testing.T) {
+	sim := smallSim()
+	sim.Run(400_000)
+	out := PerProgram(sim)
+	for _, want := range []string{"gcc", "compress", "retired"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("per-program table missing %q:\n%s", want, out)
+		}
+	}
+}

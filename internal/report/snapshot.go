@@ -1,0 +1,315 @@
+// Package report provides windowed measurement and text rendering for the
+// reproduction's experiments. A Snapshot copies every counter of a running
+// simulation; Delta(a, b) gives the counters for the window between two
+// snapshots — which is how the paper separates program start-up from steady
+// state (Figure 1, Table 2) and how benches measure warmed steady-state
+// behavior rather than cold-start transients.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/sys"
+)
+
+// StructStats is the per-hardware-structure counter set.
+type StructStats struct {
+	Accesses [2]uint64
+	Misses   [2]uint64
+	Causes   conflict.Matrix
+	Shared   conflict.Sharing
+	Invalid  uint64
+}
+
+func (s StructStats) sub(o StructStats) StructStats {
+	var d StructStats
+	for i := 0; i < 2; i++ {
+		d.Accesses[i] = s.Accesses[i] - o.Accesses[i]
+		d.Misses[i] = s.Misses[i] - o.Misses[i]
+		for c := 0; c < conflict.NumCauses; c++ {
+			d.Causes.Counts[i][c] = s.Causes.Counts[i][c] - o.Causes.Counts[i][c]
+		}
+		for j := 0; j < 2; j++ {
+			d.Shared.Avoided[i][j] = s.Shared.Avoided[i][j] - o.Shared.Avoided[i][j]
+		}
+	}
+	d.Invalid = s.Invalid - o.Invalid
+	return d
+}
+
+// MissRate returns the miss percentage for one privilege class.
+func (s StructStats) MissRate(priv bool) float64 {
+	i := bidx(priv)
+	if s.Accesses[i] == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misses[i]) / float64(s.Accesses[i])
+}
+
+// MissRateOverall returns the total miss percentage.
+func (s StructStats) MissRateOverall() float64 {
+	a := s.Accesses[0] + s.Accesses[1]
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misses[0]+s.Misses[1]) / float64(a)
+}
+
+// TotalMisses returns all misses.
+func (s StructStats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
+
+// AvoidedPct returns Table 8's statistic: misses avoided thanks to a fill by
+// fillerPriv code, as a percentage of the structure's total misses, for
+// accessors of accPriv.
+func (s StructStats) AvoidedPct(accPriv, fillerPriv bool) float64 {
+	t := s.TotalMisses()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(s.Shared.Avoided[bidx(accPriv)][bidx(fillerPriv)]) / float64(t)
+}
+
+// Snapshot is a full copy of a simulation's counters.
+type Snapshot struct {
+	Cycles  uint64
+	Metrics pipeline.Metrics
+	CycleAt stats.Cycles
+	Mix     stats.Mix
+
+	L1I, L1D, L2, ITLB, DTLB, BTB StructStats
+
+	BpLookups     [2]uint64
+	BpMispredicts [2]uint64
+
+	OutstandingArea [3]uint64 // I, D, L2 (Little's-law numerators)
+
+	// Kernel-side counters.
+	ContextSwitches uint64
+	Preemptions     uint64
+	SyscallCount    [sys.NumSyscalls]uint64
+	VMFaults        [3]uint64
+	MemAllocs       uint64
+	MemRefills      uint64
+	MemReclaims     uint64
+	MemUnmaps       uint64
+	ASNRecycles     uint64
+	ClockInterrupts uint64
+	NetInterrupts   uint64
+
+	// Network-side counters (zero for SPECInt).
+	NetRequests  uint64
+	NetCompleted uint64
+	NetBytes     uint64
+}
+
+// Take captures all counters of sim.
+func Take(sim *core.Simulator) Snapshot {
+	e := sim.Engine
+	k := sim.Kernel
+	grab := func(acc, miss [2]uint64, causes conflict.Matrix, shared conflict.Sharing, inval uint64) StructStats {
+		return StructStats{Accesses: acc, Misses: miss, Causes: causes, Shared: shared, Invalid: inval}
+	}
+	s := Snapshot{
+		Cycles:  e.Metrics.Cycles,
+		Metrics: e.Metrics,
+		CycleAt: e.Cycles,
+		Mix:     e.Mix,
+		L1I:     grab(e.Hier.L1I.Accesses, e.Hier.L1I.Misses, e.Hier.L1I.Causes, e.Hier.L1I.Shared, e.Hier.L1I.Invalidations),
+		L1D:     grab(e.Hier.L1D.Accesses, e.Hier.L1D.Misses, e.Hier.L1D.Causes, e.Hier.L1D.Shared, e.Hier.L1D.Invalidations),
+		L2:      grab(e.Hier.L2.Accesses, e.Hier.L2.Misses, e.Hier.L2.Causes, e.Hier.L2.Shared, e.Hier.L2.Invalidations),
+		ITLB:    grab(e.ITLB.Accesses, e.ITLB.Misses, e.ITLB.Causes, e.ITLB.Shared, e.ITLB.Invalidations),
+		DTLB:    grab(e.DTLB.Accesses, e.DTLB.Misses, e.DTLB.Causes, e.DTLB.Shared, e.DTLB.Invalidations),
+		BTB: grab(e.Pred.BTBLookups, e.Pred.BTBMisses, e.Pred.BTBCauses,
+			conflict.Sharing{}, 0),
+		BpLookups:     e.Pred.Lookups,
+		BpMispredicts: e.Pred.Mispredicts,
+
+		ContextSwitches: k.ContextSwitches,
+		Preemptions:     k.Preemptions,
+		SyscallCount:    k.SyscallCount,
+		VMFaults:        k.VMFaults,
+		MemAllocs:       k.Mem.Allocs,
+		MemRefills:      k.Mem.Refills,
+		MemReclaims:     k.Mem.Reclaims,
+		MemUnmaps:       k.Mem.Unmappings,
+		ASNRecycles:     k.ASNRecycles,
+		ClockInterrupts: k.ClockInterrupts,
+		NetInterrupts:   k.NetInterrupts,
+	}
+	s.OutstandingArea = [3]uint64{
+		uint64(e.Hier.AvgOutstanding("i", 1)),
+		uint64(e.Hier.AvgOutstanding("d", 1)),
+		uint64(e.Hier.AvgOutstanding("l2", 1)),
+	}
+	if sim.Net != nil {
+		s.NetRequests = sim.Net.Requests
+		s.NetCompleted = sim.Net.Completed
+		s.NetBytes = sim.Net.BytesServed
+	}
+	return s
+}
+
+// Delta returns the window b - a.
+func Delta(a, b Snapshot) Snapshot {
+	d := Snapshot{
+		Cycles:  b.Cycles - a.Cycles,
+		CycleAt: b.CycleAt.Sub(&a.CycleAt),
+		L1I:     b.L1I.sub(a.L1I),
+		L1D:     b.L1D.sub(a.L1D),
+		L2:      b.L2.sub(a.L2),
+		ITLB:    b.ITLB.sub(a.ITLB),
+		DTLB:    b.DTLB.sub(a.DTLB),
+		BTB:     b.BTB.sub(a.BTB),
+	}
+	d.Metrics = pipeline.Metrics{
+		Cycles:        b.Metrics.Cycles - a.Metrics.Cycles,
+		Retired:       b.Metrics.Retired - a.Metrics.Retired,
+		Fetched:       b.Metrics.Fetched - a.Metrics.Fetched,
+		Squashed:      b.Metrics.Squashed - a.Metrics.Squashed,
+		ZeroFetch:     b.Metrics.ZeroFetch - a.Metrics.ZeroFetch,
+		ZeroIssue:     b.Metrics.ZeroIssue - a.Metrics.ZeroIssue,
+		MaxIssue:      b.Metrics.MaxIssue - a.Metrics.MaxIssue,
+		FetchableSum:  b.Metrics.FetchableSum - a.Metrics.FetchableSum,
+		IntIssued:     b.Metrics.IntIssued - a.Metrics.IntIssued,
+		FPIssued:      b.Metrics.FPIssued - a.Metrics.FPIssued,
+		Interrupts:    b.Metrics.Interrupts - a.Metrics.Interrupts,
+		DTLBTraps:     b.Metrics.DTLBTraps - a.Metrics.DTLBTraps,
+		ITLBTraps:     b.Metrics.ITLBTraps - a.Metrics.ITLBTraps,
+		SyscallsSeen:  b.Metrics.SyscallsSeen - a.Metrics.SyscallsSeen,
+		RetireStallSB: b.Metrics.RetireStallSB - a.Metrics.RetireStallSB,
+	}
+	for p := 0; p < 2; p++ {
+		for c := 0; c < isa.NumClasses; c++ {
+			d.Mix.Count[p][c] = b.Mix.Count[p][c] - a.Mix.Count[p][c]
+		}
+		d.Mix.PhysLoad[p] = b.Mix.PhysLoad[p] - a.Mix.PhysLoad[p]
+		d.Mix.PhysStore[p] = b.Mix.PhysStore[p] - a.Mix.PhysStore[p]
+		d.Mix.CondTaken[p] = b.Mix.CondTaken[p] - a.Mix.CondTaken[p]
+		d.BpLookups[p] = b.BpLookups[p] - a.BpLookups[p]
+		d.BpMispredicts[p] = b.BpMispredicts[p] - a.BpMispredicts[p]
+	}
+	for i := range d.SyscallCount {
+		d.SyscallCount[i] = b.SyscallCount[i] - a.SyscallCount[i]
+	}
+	for i := range d.VMFaults {
+		d.VMFaults[i] = b.VMFaults[i] - a.VMFaults[i]
+	}
+	for i := range d.OutstandingArea {
+		d.OutstandingArea[i] = b.OutstandingArea[i] - a.OutstandingArea[i]
+	}
+	d.ContextSwitches = b.ContextSwitches - a.ContextSwitches
+	d.Preemptions = b.Preemptions - a.Preemptions
+	d.MemAllocs = b.MemAllocs - a.MemAllocs
+	d.MemRefills = b.MemRefills - a.MemRefills
+	d.MemReclaims = b.MemReclaims - a.MemReclaims
+	d.MemUnmaps = b.MemUnmaps - a.MemUnmaps
+	d.ASNRecycles = b.ASNRecycles - a.ASNRecycles
+	d.ClockInterrupts = b.ClockInterrupts - a.ClockInterrupts
+	d.NetInterrupts = b.NetInterrupts - a.NetInterrupts
+	d.NetRequests = b.NetRequests - a.NetRequests
+	d.NetCompleted = b.NetCompleted - a.NetCompleted
+	d.NetBytes = b.NetBytes - a.NetBytes
+	return d
+}
+
+// IPC returns instructions per cycle in the window.
+func (s Snapshot) IPC() float64 { return s.Metrics.IPC() }
+
+// BpMispredictRate returns the branch misprediction percentage (overall, or
+// for one privilege class via BpMispredictRateFor).
+func (s Snapshot) BpMispredictRate() float64 {
+	l := s.BpLookups[0] + s.BpLookups[1]
+	if l == 0 {
+		return 0
+	}
+	return 100 * float64(s.BpMispredicts[0]+s.BpMispredicts[1]) / float64(l)
+}
+
+// BpMispredictRateFor returns the misprediction rate for one privilege class.
+func (s Snapshot) BpMispredictRateFor(priv bool) float64 {
+	i := bidx(priv)
+	if s.BpLookups[i] == 0 {
+		return 0
+	}
+	return 100 * float64(s.BpMispredicts[i]) / float64(s.BpLookups[i])
+}
+
+// AvgOutstanding returns the average in-flight misses for level 0=I,1=D,2=L2.
+func (s Snapshot) AvgOutstanding(level int) float64 {
+	if s.Metrics.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OutstandingArea[level]) / float64(s.Metrics.Cycles)
+}
+
+func bidx(priv bool) int {
+	if priv {
+		return 1
+	}
+	return 0
+}
+
+// ------------------------------------------------------------- text tables
+
+// Table is a simple fixed-width text table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(cols ...string) *Table { return &Table{header: cols} }
+
+// Row appends a row; values are formatted with %v (floats with %.1f / %.2f
+// via F1/F2 helpers).
+func (t *Table) Row(vals ...string) { t.rows = append(t.rows, vals) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// I formats an integer.
+func I(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sys"
+)
+
+// Summary renders the headline metrics of a measurement window.
+func Summary(title string, w Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "cycles %d  retired %d  IPC %.2f\n", w.Metrics.Cycles, w.Metrics.Retired, w.IPC())
+	fmt.Fprintf(&b, "mode cycles: user %.1f%%  kernel %.1f%%  pal %.1f%%  idle %.1f%%\n",
+		w.CycleAt.PctMode(isa.User), w.CycleAt.PctMode(isa.Kernel),
+		w.CycleAt.PctMode(isa.PAL), w.CycleAt.PctCat(sys.CatIdle))
+	fmt.Fprintf(&b, "fetch: avg fetchable %.1f  squashed %.1f%%  0-fetch %.1f%%  0-issue %.1f%%  max-issue %.1f%%\n",
+		w.Metrics.AvgFetchable(), w.Metrics.SquashPct(),
+		w.Metrics.PctCycles(w.Metrics.ZeroFetch), w.Metrics.PctCycles(w.Metrics.ZeroIssue),
+		w.Metrics.PctCycles(w.Metrics.MaxIssue))
+	fmt.Fprintf(&b, "branches: mispredict %.1f%% (user %.1f / kernel %.1f)  BTB miss %.1f%%\n",
+		w.BpMispredictRate(), w.BpMispredictRateFor(false), w.BpMispredictRateFor(true),
+		w.BTB.MissRateOverall())
+	fmt.Fprintf(&b, "caches: L1I %.2f%%  L1D %.2f%%  L2 %.2f%%   TLBs: I %.2f%%  D %.2f%%\n",
+		w.L1I.MissRateOverall(), w.L1D.MissRateOverall(), w.L2.MissRateOverall(),
+		w.ITLB.MissRateOverall(), w.DTLB.MissRateOverall())
+	fmt.Fprintf(&b, "outstanding misses: I$ %.1f  D$ %.1f  L2$ %.1f\n",
+		w.AvgOutstanding(0), w.AvgOutstanding(1), w.AvgOutstanding(2))
+	fmt.Fprintf(&b, "kernel categories:")
+	for c := 0; c < sys.NumCategories; c++ {
+		fmt.Fprintf(&b, " %s %.1f%%", sys.Category(c), w.CycleAt.PctCat(sys.Category(c)))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "events: syscalls %d  dtlb traps %d  itlb traps %d  interrupts %d  ctx switches %d\n",
+		w.Metrics.SyscallsSeen, w.Metrics.DTLBTraps, w.Metrics.ITLBTraps,
+		w.Metrics.Interrupts, w.ContextSwitches)
+	if w.NetRequests > 0 {
+		fmt.Fprintf(&b, "web: requests %d  completed %d  bytes served %d\n",
+			w.NetRequests, w.NetCompleted, w.NetBytes)
+	}
+	return b.String()
+}
+
+// PerProgram renders a per-software-thread breakdown of committed
+// instructions and attributed context-cycles — which benchmark of the mix
+// got what share of the machine.
+func PerProgram(sim *core.Simulator) string {
+	t := NewTable("thread", "tid", "retired", "ctx-cycles", "cycle share%")
+	var total uint64
+	type row struct {
+		name string
+		tid  uint32
+		st   pipelineThreadStat
+	}
+	var rows []row
+	for _, th := range sim.Kernel.Threads() {
+		st := sim.Engine.ThreadStats(th.TID())
+		if st.Retired == 0 && st.CtxCycles == 0 {
+			continue
+		}
+		rows = append(rows, row{name: th.ThreadName(), tid: th.TID(),
+			st: pipelineThreadStat{Retired: st.Retired, CtxCycles: st.CtxCycles}})
+		total += st.CtxCycles
+	}
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.st.CtxCycles) / float64(total)
+		}
+		t.Row(r.name, fmt.Sprintf("%d", r.tid), I(r.st.Retired), I(r.st.CtxCycles), F1(share))
+	}
+	return t.String()
+}
+
+// pipelineThreadStat mirrors pipeline.ThreadStat without re-exporting it.
+type pipelineThreadStat struct {
+	Retired   uint64
+	CtxCycles uint64
+}

@@ -1,0 +1,212 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("seed 0 generator looks degenerate: %d distinct of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	parent2 := New(7)
+	c1b := parent2.Split(1)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+	parent3 := New(7)
+	c2 := parent3.Split(2)
+	d1, d2 := New(7).Split(1), c2
+	diff := false
+	for i := 0; i < 50; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Split with different labels produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(4)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n(17) = %d", v)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(6)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %.4f", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(8)
+	n, sum := 100000, 0
+	for i := 0; i < n; i++ {
+		v := r.Geometric(5)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("Geometric(5) mean = %.3f", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10; i++ {
+		if v := r.Geometric(0.5); v != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", v)
+		}
+	}
+}
+
+func TestChooseWeights(t *testing.T) {
+	r := New(10)
+	w := []float64{1, 0, 3}
+	counts := [3]int{}
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choose(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %.3f, want ~3", ratio)
+	}
+}
+
+func TestChoosePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choose(nil) did not panic")
+		}
+	}()
+	New(1).Choose(nil)
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	r := New(12)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// rank-1 over rank-2 should be roughly 2:1 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("Zipf rank ratio = %.3f, want ~2", ratio)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

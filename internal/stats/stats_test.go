@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sys"
+)
+
+func TestMixAccounting(t *testing.T) {
+	var m Mix
+	m.Add(&isa.Inst{Class: isa.Load, Mode: isa.User})
+	m.Add(&isa.Inst{Class: isa.Load, Mode: isa.Kernel, Physical: true})
+	m.Add(&isa.Inst{Class: isa.Store, Mode: isa.PAL, Physical: true})
+	m.Add(&isa.Inst{Class: isa.CondBranch, Mode: isa.User, Taken: true})
+	m.Add(&isa.Inst{Class: isa.CondBranch, Mode: isa.User})
+	m.Add(&isa.Inst{Class: isa.IntALU, Mode: isa.User})
+
+	if m.Total(false) != 4 || m.Total(true) != 2 || m.TotalAll() != 6 {
+		t.Fatalf("totals: %d/%d/%d", m.Total(false), m.Total(true), m.TotalAll())
+	}
+	if m.Pct(false, isa.Load) != 25 {
+		t.Fatalf("user load pct = %.1f", m.Pct(false, isa.Load))
+	}
+	if m.PhysFrac(true, false) != 100 {
+		t.Fatalf("kernel phys load frac = %.1f", m.PhysFrac(true, false))
+	}
+	if m.PhysFrac(true, true) != 100 { // PAL store counts privileged
+		t.Fatalf("kernel phys store frac = %.1f", m.PhysFrac(true, true))
+	}
+	if m.CondTakenPct(false) != 50 {
+		t.Fatalf("cond taken = %.1f", m.CondTakenPct(false))
+	}
+	if m.PhysFrac(false, false) != 0 {
+		t.Fatal("user load should not be physical")
+	}
+}
+
+func TestMixBranchBreakdown(t *testing.T) {
+	var m Mix
+	m.Add(&isa.Inst{Class: isa.CondBranch, Mode: isa.Kernel})
+	m.Add(&isa.Inst{Class: isa.UncondBranch, Mode: isa.Kernel})
+	m.Add(&isa.Inst{Class: isa.IndirectJump, Mode: isa.Kernel})
+	m.Add(&isa.Inst{Class: isa.PALCall, Mode: isa.Kernel})
+	m.Add(&isa.Inst{Class: isa.PALReturn, Mode: isa.Kernel})
+	m.Add(&isa.Inst{Class: isa.IntALU, Mode: isa.Kernel})
+	if got := m.BranchPct(true); got < 83 || got > 84 {
+		t.Fatalf("branch pct = %.2f, want 5/6", got)
+	}
+	if got := m.BranchSubPct(true, isa.PALCall); got != 40 { // call+return of 5 branches
+		t.Fatalf("pal sub pct = %.1f, want 40", got)
+	}
+	if got := m.BranchSubPct(true, isa.CondBranch); got != 20 {
+		t.Fatalf("cond sub pct = %.1f", got)
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	var m Mix
+	if m.Pct(false, isa.Load) != 0 || m.PctOverall(isa.Load) != 0 ||
+		m.PhysFrac(true, false) != 0 || m.CondTakenPct(false) != 0 ||
+		m.BranchPct(true) != 0 || m.BranchSubPct(false, isa.CondBranch) != 0 {
+		t.Fatal("empty mix should report zeros")
+	}
+}
+
+func TestCyclesAttribution(t *testing.T) {
+	var c Cycles
+	c.Add(sys.CatUser, 0, isa.User)
+	c.Add(sys.CatSyscall, uint16(sys.SysRead), isa.Kernel)
+	c.Add(sys.CatSyscall, uint16(sys.SysStat), isa.Kernel)
+	c.Add(sys.CatDTLB, 0, isa.PAL)
+
+	if c.Total != 4 {
+		t.Fatalf("total = %d", c.Total)
+	}
+	if c.PctCat(sys.CatSyscall) != 50 {
+		t.Fatalf("syscall pct = %.1f", c.PctCat(sys.CatSyscall))
+	}
+	if c.PctSyscall(uint16(sys.SysRead)) != 25 {
+		t.Fatalf("read pct = %.1f", c.PctSyscall(uint16(sys.SysRead)))
+	}
+	if c.PctMode(isa.Kernel) != 50 {
+		t.Fatalf("kernel mode pct = %.1f", c.PctMode(isa.Kernel))
+	}
+	if c.KernelPct() != 75 { // kernel + PAL
+		t.Fatalf("kernel pct = %.1f", c.KernelPct())
+	}
+}
+
+func TestCyclesSub(t *testing.T) {
+	var a, b Cycles
+	a.Add(sys.CatUser, 0, isa.User)
+	b = a
+	b.Add(sys.CatIdle, 0, isa.Idle)
+	b.Add(sys.CatSyscall, uint16(sys.SysOpen), isa.Kernel)
+	d := b.Sub(&a)
+	if d.Total != 2 {
+		t.Fatalf("delta total = %d", d.Total)
+	}
+	if d.ByCat[sys.CatUser] != 0 {
+		t.Fatal("user cycles leaked into delta")
+	}
+	if d.BySyscall[sys.SysOpen] != 1 {
+		t.Fatal("syscall delta wrong")
+	}
+}
+
+func TestCyclesEmptyPcts(t *testing.T) {
+	var c Cycles
+	if c.PctCat(sys.CatUser) != 0 || c.PctSyscall(1) != 0 ||
+		c.PctMode(isa.User) != 0 || c.KernelPct() != 0 {
+		t.Fatal("empty cycles should report zeros")
+	}
+	if c.PctSyscall(9999) != 0 {
+		t.Fatal("out-of-range syscall should report zero")
+	}
+}

@@ -1,0 +1,63 @@
+package sys
+
+import "testing"
+
+func TestNames(t *testing.T) {
+	cases := map[uint16]string{
+		SysRead:   "read",
+		SysWritev: "writev",
+		SysStat:   "stat",
+		SysAccept: "accept",
+		SysSmmap:  "smmap",
+		SysExit:   "exit",
+	}
+	for n, want := range cases {
+		if Name(n) != want {
+			t.Errorf("Name(%d) = %q, want %q", n, Name(n), want)
+		}
+	}
+	if Name(4242) != "sys4242" {
+		t.Errorf("out-of-range name = %q", Name(4242))
+	}
+}
+
+func TestResourceStrings(t *testing.T) {
+	cases := map[Resource]string{
+		ResNone:    "other",
+		ResFile:    "file",
+		ResNet:     "network",
+		ResProcess: "process",
+		ResMemory:  "memory",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := []string{
+		"syscall", "dtlb-miss", "itlb-miss", "interrupt", "netisr",
+		"scheduler", "spinlock", "idle", "other-kernel", "user",
+	}
+	for i, w := range want {
+		if Category(i).String() != w {
+			t.Errorf("Category(%d) = %q, want %q", i, Category(i).String(), w)
+		}
+	}
+	if Category(200).String() == "" {
+		t.Error("unknown category should stringify")
+	}
+	if NumCategories != len(want) {
+		t.Errorf("NumCategories = %d, want %d", NumCategories, len(want))
+	}
+}
+
+func TestSyscallNumbersStable(t *testing.T) {
+	// The experiment/report layers index arrays by these values; they
+	// must not be reordered silently.
+	if SysNone != 0 || SysRead != 1 || SysAccept != 7 || SysSelect != 8 {
+		t.Fatal("syscall numbering changed; fix dependent indexing")
+	}
+}

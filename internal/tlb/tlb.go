@@ -1,0 +1,254 @@
+// Package tlb models the Alpha-style translation lookaside buffers of the
+// simulated SMT: 128-entry fully-associative ITLB and DTLB whose entries are
+// tagged with address-space numbers (ASNs), as described in §2.2.2 of the
+// paper.
+//
+// Because SMT shares one TLB among all hardware contexts (unlike an SMP,
+// where each processor has its own), ASN management is the one piece of
+// Digital Unix the authors had to modify. The behavioral kernel in
+// internal/kernel performs that management against this model: it assigns
+// ASNs to processes, inserts entries from the PAL miss handlers (in parallel
+// across contexts, thanks to the paper's replicated internal processor
+// registers), and recycles ASNs — which invalidates entries here and shows
+// up as "invalidation by the OS" misses in Table 7.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/conflict"
+	"repro/internal/mem"
+)
+
+// GlobalASN tags entries that match in every address space (Alpha's
+// address-space-match bit, used for the shared kernel region).
+const GlobalASN = 0xffff
+
+// Entry is one TLB entry.
+type Entry struct {
+	valid   bool
+	asn     uint16
+	vpn     uint64
+	pfn     uint64
+	lastUse uint64
+	filler  conflict.Agent
+	// touched is a small bitmask of thread IDs (tid mod 64) that have hit
+	// this entry since fill; used for the constructive-sharing statistic.
+	touched uint64
+}
+
+// TLB is a fully-associative, LRU-replaced translation buffer.
+type TLB struct {
+	name    string
+	entries []Entry
+	tick    uint64
+	tracker *conflict.Tracker
+	// index maps key(asn,vpn) -> entry slot, to avoid scanning the
+	// fully-associative array on every access.
+	index map[uint64]int32
+
+	// Accesses and Misses are indexed by accessor privilege (0 user, 1 kernel).
+	Accesses [2]uint64
+	Misses   [2]uint64
+	// Causes is the Table 3 / Table 7 miss-cause matrix.
+	Causes conflict.Matrix
+	// Shared is the Table 8 constructive-sharing matrix.
+	Shared conflict.Sharing
+	// Invalidations counts entries removed by explicit OS action.
+	Invalidations uint64
+}
+
+// New returns a TLB with the given number of entries.
+func New(name string, entries int) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("tlb: %s with %d entries", name, entries))
+	}
+	return &TLB{
+		name:    name,
+		entries: make([]Entry, entries),
+		tracker: conflict.NewTracker(),
+		index:   make(map[uint64]int32, entries*2),
+	}
+}
+
+// Name returns the TLB's name (for reports).
+func (t *TLB) Name() string { return t.name }
+
+// Size returns the number of entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// key builds the classification key for (asn, vpn). Global pages share one
+// key regardless of ASN.
+func key(asn uint16, vpn uint64) uint64 {
+	return vpn<<16 | uint64(asn)
+}
+
+// Lookup translates vaddr in address space asn. On a hit it returns the
+// physical address and true; on a miss it classifies the miss and returns
+// false (the caller then runs the PAL miss handler, which will Insert).
+func (t *TLB) Lookup(asn uint16, vaddr uint64, ag conflict.Agent) (paddr uint64, hit bool) {
+	t.tick++
+	pi := privIndex(ag.Priv)
+	t.Accesses[pi]++
+	vpn := mem.VPN(vaddr)
+	slot, ok := t.index[key(asn, vpn)]
+	if !ok {
+		slot, ok = t.index[key(GlobalASN, vpn)]
+	}
+	if ok {
+		e := &t.entries[slot]
+		e.lastUse = t.tick
+		// Constructive sharing: this access would have missed had
+		// another thread not already loaded the entry.
+		bit := uint64(1) << (ag.TID & 63)
+		if e.filler.TID != ag.TID && e.touched&bit == 0 {
+			t.Shared.Add(ag, e.filler)
+		}
+		e.touched |= bit
+		return mem.FrameBase(e.pfn) | (vaddr & mem.PageMask), true
+	}
+	t.Misses[pi]++
+	k := key(asn, vpn)
+	if gk := key(GlobalASN, vpn); t.tracker.Seen(gk) && !t.tracker.Seen(k) {
+		k = gk
+	}
+	t.Causes.Add(ag, t.tracker.Classify(k, ag))
+	return 0, false
+}
+
+// Probe reports whether (asn, vaddr) is resident without touching stats or
+// LRU state (used by the kernel model and tests).
+func (t *TLB) Probe(asn uint16, vaddr uint64) bool {
+	vpn := mem.VPN(vaddr)
+	if _, ok := t.index[key(asn, vpn)]; ok {
+		return true
+	}
+	_, ok := t.index[key(GlobalASN, vpn)]
+	return ok
+}
+
+// Insert installs a translation, evicting the LRU entry if necessary. It is
+// what the PAL TLB-miss handler does after the kernel VM code produced the
+// mapping.
+func (t *TLB) Insert(asn uint16, vaddr, paddr uint64, ag conflict.Agent) {
+	t.tick++
+	vpn := mem.VPN(vaddr)
+	if slot, ok := t.index[key(asn, vpn)]; ok {
+		// Refresh an existing entry (another context may have raced us in;
+		// on SMT multiple contexts can process TLB misses in parallel,
+		// §2.2.2).
+		e := &t.entries[slot]
+		e.pfn = paddr >> mem.PageShift
+		e.lastUse = t.tick
+		return
+	}
+	if slot, ok := t.index[key(GlobalASN, vpn)]; ok && asn != GlobalASN {
+		e := &t.entries[slot]
+		e.pfn = paddr >> mem.PageShift
+		e.lastUse = t.tick
+		return
+	}
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if e.lastUse < oldest {
+			victim = i
+			oldest = e.lastUse
+		}
+	}
+	v := &t.entries[victim]
+	if v.valid {
+		t.tracker.Evicted(key(v.asn, v.vpn), ag)
+		delete(t.index, key(v.asn, v.vpn))
+	}
+	t.tracker.FirstSeen(key(asn, vpn), ag)
+	*v = Entry{
+		valid:   true,
+		asn:     asn,
+		vpn:     vpn,
+		pfn:     paddr >> mem.PageShift,
+		lastUse: t.tick,
+		filler:  ag,
+		touched: uint64(1) << (ag.TID & 63),
+	}
+	t.index[key(asn, vpn)] = int32(victim)
+}
+
+// InvalidateASN removes all entries of one address space (ASN recycling on
+// context switch when ASNs are exhausted).
+func (t *TLB) InvalidateASN(asn uint16) int {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asn == asn {
+			t.tracker.Invalidated(key(e.asn, e.vpn))
+			delete(t.index, key(e.asn, e.vpn))
+			e.valid = false
+			n++
+		}
+	}
+	t.Invalidations += uint64(n)
+	return n
+}
+
+// InvalidatePage removes a single translation (e.g. on munmap). On the
+// uniprocessor SMT this replaces the SMP's interprocessor TLB shootdown.
+func (t *TLB) InvalidatePage(asn uint16, vaddr uint64) bool {
+	vpn := mem.VPN(vaddr)
+	for _, k := range [2]uint64{key(asn, vpn), key(GlobalASN, vpn)} {
+		if slot, ok := t.index[k]; ok {
+			e := &t.entries[slot]
+			t.tracker.Invalidated(key(e.asn, e.vpn))
+			delete(t.index, k)
+			e.valid = false
+			t.Invalidations++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid {
+			t.tracker.Invalidated(key(e.asn, e.vpn))
+			delete(t.index, key(e.asn, e.vpn))
+			e.valid = false
+			t.Invalidations++
+		}
+	}
+}
+
+// MissRate returns the miss rate (percent) for the given privilege class,
+// or overall if priv is nil-like (use MissRateOverall).
+func (t *TLB) MissRate(priv bool) float64 {
+	pi := privIndex(priv)
+	if t.Accesses[pi] == 0 {
+		return 0
+	}
+	return 100 * float64(t.Misses[pi]) / float64(t.Accesses[pi])
+}
+
+// MissRateOverall returns the total miss rate in percent.
+func (t *TLB) MissRateOverall() float64 {
+	acc := t.Accesses[0] + t.Accesses[1]
+	if acc == 0 {
+		return 0
+	}
+	return 100 * float64(t.Misses[0]+t.Misses[1]) / float64(acc)
+}
+
+func privIndex(priv bool) int {
+	if priv {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,321 @@
+// Package apache models the Apache 1.3.4 web server of the paper's §2.3 and
+// §3.2: a pre-forked pool of 64 server processes, each looping
+// accept → read request → stat → open/mmap → read file → writev response →
+// close, over a SPECWeb96 file set served from the OS file cache.
+//
+// All processes share one program text (they are forks of one binary) —
+// this is registered as a shared mapping so the instruction cache sees a
+// single copy, as on the real machine. Heaps and stacks are private.
+//
+// The syscall pattern is what produces the paper's Figure 7: stat is issued
+// for every request (Apache's URI-to-file translation), reads/writevs move
+// the request and response bytes, large files go through smmap/munmap, and
+// every request costs an accept (+ an occasional select) on the network
+// side — with user-mode parsing/logging bursts in between (Apache spends
+// ~22% of cycles in user mode, Figure 5).
+package apache
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the server model.
+type Config struct {
+	// Processes is the pre-forked pool size (the paper: 64).
+	Processes int
+	// Seed drives per-process variation.
+	Seed uint64
+	// FileSize maps a connection to the requested file's size; wire to
+	// netsim.Network.FileSize.
+	FileSize func(conn int) int
+	// ConnOf maps a socket fd to its connection id; wire to
+	// kernel.Kernel.ConnOf.
+	ConnOf func(fd int) int
+	// MmapThreshold is the file size above which the server maps the file
+	// instead of read()ing it.
+	MmapThreshold int
+	// ReadChunk is the read() granularity for smaller files.
+	ReadChunk int
+	// KeepAlive, when true, keeps connections open after a response and
+	// reads the next request from the same socket (HTTP/1.1 behavior; the
+	// paper's Apache 1.3.4 + SPECWeb96 setup is one request per
+	// connection).
+	KeepAlive bool
+}
+
+// DefaultConfig returns the paper's server setup (FileSize/ConnOf must
+// still be wired).
+func DefaultConfig() Config {
+	return Config{
+		Processes:     64,
+		Seed:          7,
+		MmapThreshold: 64 << 10,
+		ReadChunk:     8 << 10,
+	}
+}
+
+// Text layout: one shared text region for the whole pool.
+const (
+	textBase        = uint64(mem.UserTextBase)
+	staticTextInsts = 36000 // ~140 KB of server text
+)
+
+// TextRange returns the shared text range to register with
+// mem.Memory.ShareRange.
+func TextRange() (base, size uint64) {
+	return textBase, uint64(staticTextInsts)*4 + mem.PageSize
+}
+
+// profile is the Apache user-mode profile, from the user column of the
+// paper's Table 5 (loads 21.8%, stores 10.1%, branches 16.7% — 70%
+// conditional taken 54% — and no floating point).
+func profile() workload.Profile {
+	return workload.Profile{
+		Name:        "apache",
+		Mode:        isa.User,
+		StaticInsts: staticTextInsts,
+		Mix: workload.Mix{
+			Load: 0.218, Store: 0.101, FP: 0,
+			// Transfer-class static shares sit below the Table 5 dynamic
+			// targets; the walk amplifies them (see kernelMix).
+			CondBr: 0.117, UncondBr: 0.012, IndirectJump: 0.016,
+		},
+		CondTaken:     0.54,
+		LoopFrac:      0.12,
+		MeanTrips:     8,
+		CallFrac:      0.55,
+		SwitchTargets: 6,
+		Data: []workload.DataSpec{
+			// Private heap: request pool, buffers.
+			{Size: 128 << 10, Hot: 8 << 10, Weight: 3, SeqFrac: 0.35, ColdFrac: 0.03},
+			// Private stack.
+			{Size: 32 << 10, Hot: 2 << 10, Weight: 1, SeqFrac: 0.3, ColdFrac: 0.01},
+		},
+		MeanDep: 7,
+	}
+}
+
+// reqState is one server process's position in the request loop; the value
+// names the next action the process will take.
+type reqState uint8
+
+const (
+	stAccept reqState = iota
+	stReadReq
+	stParse
+	stStat
+	stOpen
+	stTransfer
+	stPrep
+	stWrite
+	stUnmap
+	stCloseFile
+	stCloseConn
+	stLog
+	stNextOrClose // keep-alive: wait for the next request or the FIN
+)
+
+// Server builds the process pool.
+type Server struct {
+	cfg    Config
+	region *workload.Region
+	// RequestsHandled counts completed request loops across the pool.
+	RequestsHandled uint64
+}
+
+// New builds the server model. Call Programs to get the pool and register
+// TextRange with the memory system.
+func New(cfg Config) *Server {
+	if cfg.Processes <= 0 {
+		cfg.Processes = 64
+	}
+	if cfg.ReadChunk <= 0 {
+		cfg.ReadChunk = 8 << 10
+	}
+	if cfg.MmapThreshold <= 0 {
+		cfg.MmapThreshold = 64 << 10
+	}
+	r := rng.New(cfg.Seed ^ 0xa9ac4e)
+	// One shared text region; data bases are rewritten per process.
+	reg := workload.Build(profile(), textBase, func(i int, _ workload.DataSpec) uint64 {
+		return 0
+	}, r)
+	return &Server{cfg: cfg, region: reg}
+}
+
+// Programs returns the pre-forked pool.
+func (s *Server) Programs() []*workload.ScriptProgram {
+	out := make([]*workload.ScriptProgram, s.cfg.Processes)
+	for i := 0; i < s.cfg.Processes; i++ {
+		out[i] = s.process(i + 1)
+	}
+	return out
+}
+
+// process builds one server process: shared text, private data.
+func (s *Server) process(slot int) *workload.ScriptProgram {
+	r := rng.New(s.cfg.Seed ^ uint64(slot)*0x9e37)
+	reg := *s.region
+	reg.Data = make([]workload.DataRegion, len(s.region.Data))
+	copy(reg.Data, s.region.Data)
+	heap := uint64(mem.UserDataBase) + uint64(slot)*mem.PIDStride
+	stack := uint64(mem.UserStackBase) + uint64(slot)*mem.PIDStride
+	reg.Data[0].Base = heap
+	reg.Data[1].Base = stack
+	w := workload.NewWalker(&reg, r.Split(1))
+	w.ResetEvery = uint64(4 * staticTextInsts)
+
+	st := stAccept
+	fd := -1
+	fileBytes := 0
+	sent := 0
+	mapped := false
+	served := false
+	mmapAddr := heap + 0x0400_0000
+	prng := r.Split(2)
+
+	run := func(n int) workload.Step {
+		return workload.Step{Kind: workload.StepRun, N: uint64(n)}
+	}
+	call := func(req sys.Request) workload.Step {
+		return workload.Step{Kind: workload.StepSyscall, Req: req}
+	}
+
+	next := func() workload.Step {
+		switch st {
+		case stAccept:
+			if prng.Bool(0.3) {
+				// Apache occasionally polls before blocking in accept.
+				return call(sys.Request{Num: sys.SysSelect, Resource: sys.ResNet, FD: kernelListenFD})
+			}
+			st = stReadReq
+			return call(sys.Request{Num: sys.SysAccept, Resource: sys.ResNet,
+				FD: kernelListenFD, Blocking: true})
+		case stReadReq:
+			st = stParse
+			return call(sys.Request{Num: sys.SysRead, Resource: sys.ResNet,
+				FD: fd, Blocking: true})
+		case stParse:
+			st = stStat
+			return run(3600 + prng.Intn(2400))
+		case stStat:
+			st = stOpen
+			return call(sys.Request{Num: sys.SysStat, Resource: sys.ResFile})
+		case stOpen:
+			st = stTransfer
+			return call(sys.Request{Num: sys.SysOpen, Resource: sys.ResFile})
+		case stTransfer:
+			if fileBytes > s.cfg.MmapThreshold && !mapped {
+				mapped = true
+				st = stPrep
+				return call(sys.Request{Num: sys.SysSmmap, Resource: sys.ResMemory,
+					Addr: mmapAddr, Bytes: fileBytes})
+			}
+			if !mapped && sent < fileBytes {
+				n := fileBytes - sent
+				if n > s.cfg.ReadChunk {
+					n = s.cfg.ReadChunk
+				}
+				sent += n
+				return call(sys.Request{Num: sys.SysRead, Resource: sys.ResFile, Bytes: n})
+			}
+			st = stWrite
+			return run(5200 + prng.Intn(2800))
+		case stPrep:
+			st = stWrite
+			return run(1500 + prng.Intn(800))
+		case stWrite:
+			if mapped {
+				st = stUnmap
+			} else {
+				st = stCloseFile
+			}
+			served = true
+			return call(sys.Request{Num: sys.SysWritev, Resource: sys.ResNet,
+				FD: fd, Bytes: fileBytes})
+		case stUnmap:
+			st = stCloseFile
+			return call(sys.Request{Num: sys.SysMunmap, Resource: sys.ResMemory, Addr: mmapAddr})
+		case stCloseFile:
+			if s.cfg.KeepAlive {
+				// The connection stays open; only the file is closed.
+				st = stLog
+			} else {
+				st = stCloseConn
+			}
+			return call(sys.Request{Num: sys.SysClose, Resource: sys.ResFile})
+		case stCloseConn:
+			st = stLog
+			fdc := fd
+			fd = -1
+			return call(sys.Request{Num: sys.SysClose, Resource: sys.ResNet, FD: fdc})
+		case stLog:
+			if s.cfg.KeepAlive && fd >= 0 {
+				st = stNextOrClose
+			} else {
+				st = stAccept
+			}
+			if served {
+				s.RequestsHandled++
+				served = false
+			}
+			fileBytes = 0
+			sent = 0
+			mapped = false
+			return run(5200 + prng.Intn(2800))
+		case stNextOrClose:
+			// Blocking read: either the next request arrives (resultFn
+			// moves us to stParse) or the peer closed (result 0 moves us
+			// to stCloseConn).
+			st = stParse
+			return call(sys.Request{Num: sys.SysRead, Resource: sys.ResNet,
+				FD: fd, Blocking: true})
+		}
+		panic("apache: bad state")
+	}
+
+	lookupFile := func() {
+		fileBytes = 0
+		if s.cfg.ConnOf != nil && s.cfg.FileSize != nil {
+			if conn := s.cfg.ConnOf(fd); conn >= 0 {
+				fileBytes = s.cfg.FileSize(conn)
+			}
+		}
+		if fileBytes == 0 {
+			fileBytes = 2048
+		}
+	}
+	resultFn := func(req sys.Request, result int) {
+		switch {
+		case req.Num == sys.SysAccept:
+			fd = result
+			lookupFile()
+		case req.Num == sys.SysRead && req.Resource == sys.ResNet:
+			if !s.cfg.KeepAlive {
+				return
+			}
+			if result == 0 {
+				// Peer closed the kept-alive connection.
+				st = stCloseConn
+				return
+			}
+			// A fresh request arrived on the open connection.
+			lookupFile()
+		}
+	}
+
+	return &workload.ScriptProgram{
+		ProgName: "apache",
+		W:        w,
+		NextFn:   next,
+		ResultFn: resultFn,
+	}
+}
+
+// kernelListenFD mirrors kernel.ListenFD without importing the kernel
+// package (workload models must not depend on the OS implementation).
+const kernelListenFD = 0

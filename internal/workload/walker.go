@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Generator produces a finite or infinite stream of dynamic instructions.
+// Next returns ok=false when the generator is exhausted.
+type Generator interface {
+	Next() (isa.Inst, bool)
+}
+
+// Walker executes a Region, producing its dynamic instruction stream. It is
+// infinite (a region never "ends"; finite excerpts are taken with Limit or
+// by the kernel's service wrappers) and fully deterministic given its RNG.
+type Walker struct {
+	Reg       *Region
+	rng       *rng.Rand
+	idx       int
+	loops     []int32
+	callStack []int32
+	cursors   []uint64
+	coldPage  []uint64
+	coldLeft  []int32
+	switchPos []int32
+	// Count is the number of dynamic instructions emitted.
+	Count uint64
+	// ResetEvery, when nonzero, restarts the walk from slot 0 every that
+	// many dynamic instructions — the program's outer event loop. It also
+	// guarantees the walk cannot stay trapped in a degenerate cycle.
+	ResetEvery uint64
+}
+
+// NewWalker returns a walker over reg driven by r.
+func NewWalker(reg *Region, r *rng.Rand) *Walker {
+	return &Walker{
+		Reg:       reg,
+		rng:       r,
+		loops:     make([]int32, len(reg.Slots)),
+		cursors:   make([]uint64, len(reg.Data)),
+		coldPage:  make([]uint64, len(reg.Data)),
+		coldLeft:  make([]int32, len(reg.Data)),
+		switchPos: make([]int32, len(reg.Slots)),
+	}
+}
+
+// PC returns the program counter of the next instruction.
+func (w *Walker) PC() uint64 { return w.Reg.PCOf(w.idx) }
+
+// Next emits the next dynamic instruction (always ok; Walker is infinite).
+func (w *Walker) Next() (isa.Inst, bool) {
+	reg := w.Reg
+	n := len(reg.Slots)
+	if w.ResetEvery > 0 && w.Count > 0 && w.Count%w.ResetEvery == 0 {
+		w.idx = 0
+		w.callStack = w.callStack[:0]
+	}
+	s := &reg.Slots[w.idx]
+	in := isa.Inst{
+		PC:    reg.PCOf(w.idx),
+		Class: s.Kind,
+		Mode:  reg.Mode,
+		Dep1:  s.Dep1,
+		Dep2:  s.Dep2,
+		Size:  8,
+	}
+	next := w.idx + 1
+	if next >= n {
+		next = 0
+	}
+
+	switch s.Kind {
+	case isa.Load, isa.Store, isa.Sync:
+		in.Addr, in.Physical = w.dataAddr(s)
+	case isa.CondBranch:
+		if s.Trips > 0 {
+			if w.loops[w.idx] == 0 {
+				w.loops[w.idx] = s.Trips
+			}
+			w.loops[w.idx]--
+			in.Taken = w.loops[w.idx] > 0
+		} else {
+			in.Taken = w.rng.Bool(float64(s.TakenBias))
+		}
+		in.Target = reg.PCOf(int(s.Target))
+		if in.Taken {
+			next = int(s.Target)
+		}
+	case isa.UncondBranch:
+		in.Taken = true
+		in.Target = reg.PCOf(int(s.Target))
+		if s.IsCall {
+			ret := w.idx + 1
+			if ret >= n {
+				ret = 0
+			}
+			if len(w.callStack) < 64 {
+				w.callStack = append(w.callStack, int32(ret))
+			}
+		}
+		next = int(s.Target)
+	case isa.IndirectJump:
+		in.Taken = true
+		var tgt int32
+		if s.IsRet && len(w.callStack) > 0 {
+			tgt = w.callStack[len(w.callStack)-1]
+			w.callStack = w.callStack[:len(w.callStack)-1]
+		} else if s.IsRet {
+			// Unmatched return (stack drained by a reset or imbalance):
+			// scatter deterministically rather than funneling to slot 0.
+			w.switchPos[w.idx]++
+			tgt = int32((uint64(w.idx)*2654435761 + uint64(w.switchPos[w.idx])*97) % uint64(n))
+		} else if s.NumTargets > 1 {
+			w.switchPos[w.idx]++
+			k := w.switchPos[w.idx]
+			if k%16 == 0 {
+				// Every fourth execution the dispatch lands somewhere new
+				// (hash of site and visit count): this is the kernel's
+				// "repeated changes in the target address of indirect
+				// jumps" (§3.1.2), and it keeps the walk ergodic — no
+				// basin of hot routines can trap it.
+				tgt = int32((uint64(w.idx)*2654435761 + uint64(k)*40503) % uint64(n))
+			} else {
+				tgt = (s.Target + ((k/16)%s.NumTargets)*17) % int32(n)
+			}
+		} else {
+			tgt = s.Target % int32(n)
+		}
+		in.Target = reg.PCOf(int(tgt))
+		next = int(tgt)
+	}
+
+	w.idx = next
+	w.Count++
+	return in, true
+}
+
+// dataAddr produces the address for a memory slot.
+func (w *Walker) dataAddr(s *Slot) (addr uint64, physical bool) {
+	if len(w.Reg.Data) == 0 {
+		return 0, false
+	}
+	d := &w.Reg.Data[s.Data]
+	var off uint64
+	switch s.Pattern {
+	case PatSeq:
+		wrap := d.Hot
+		if d.Stream {
+			wrap = d.Size
+		}
+		w.cursors[s.Data] = (w.cursors[s.Data] + uint64(s.Stride)) % wrap
+		off = w.cursors[s.Data]
+	case PatHot:
+		off = w.rng.Uint64n(maxU64(d.Hot, 8))
+	default: // PatCold
+		// Cold accesses roam the whole region but with page-level
+		// clustering (real programs touch a dozen-odd spots on a page
+		// before moving on); this keeps TLB behavior realistic while the
+		// cache still sees mostly-cold lines.
+		if w.coldLeft[s.Data] <= 0 {
+			w.coldPage[s.Data] = w.rng.Uint64n(maxU64(d.Size>>13, 1)) << 13
+			w.coldLeft[s.Data] = int32(2 + w.rng.Intn(12))
+		}
+		w.coldLeft[s.Data]--
+		off = w.coldPage[s.Data] + w.rng.Uint64n(8192)
+		if off >= d.Size {
+			off = w.rng.Uint64n(maxU64(d.Size, 8))
+		}
+	}
+	return d.Base + (off &^ 7), d.Physical
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Limit wraps a generator to emit at most N instructions.
+type Limit struct {
+	G Generator
+	N uint64
+}
+
+// Next implements Generator.
+func (l *Limit) Next() (isa.Inst, bool) {
+	if l.N == 0 {
+		return isa.Inst{}, false
+	}
+	l.N--
+	return l.G.Next()
+}
+
+// Tail emits the instructions of G and then the extra instructions in
+// sequence (used to terminate a kernel service with a PAL return, or a user
+// burst with a syscall PAL call).
+type Tail struct {
+	G     Generator
+	Extra []isa.Inst
+	pos   int
+}
+
+// Next implements Generator.
+func (t *Tail) Next() (isa.Inst, bool) {
+	if t.G != nil {
+		if in, ok := t.G.Next(); ok {
+			return in, true
+		}
+		t.G = nil
+	}
+	if t.pos < len(t.Extra) {
+		in := t.Extra[t.pos]
+		t.pos++
+		return in, true
+	}
+	return isa.Inst{}, false
+}
+
+// Seq chains generators back to back.
+type Seq struct {
+	Gs []Generator
+}
+
+// Next implements Generator.
+func (s *Seq) Next() (isa.Inst, bool) {
+	for len(s.Gs) > 0 {
+		if in, ok := s.Gs[0].Next(); ok {
+			return in, true
+		}
+		s.Gs = s.Gs[1:]
+	}
+	return isa.Inst{}, false
+}
+
+// Drain collects up to max instructions from a generator into a slice
+// (used by the kernel to splice trap-handler code into a context's feed).
+func Drain(g Generator, max int) []isa.Inst {
+	out := make([]isa.Inst, 0, minInt(max, 4096))
+	for len(out) < max {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
