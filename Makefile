@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet test race run experiments
+
+# check is the full verification gate: compile, vet, the whole test suite,
+# and a fast race pass (Quick-scale simulations skip under -short, so the
+# race leg stays cheap while still covering the fault-injection paths).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# run is a small demo simulation.
+run:
+	$(GO) run ./cmd/ossmt -workload apache -warmup 1000000 -cycles 2000000
+
+# experiments regenerates EXPERIMENTS.md content (see cmd/experiments).
+experiments:
+	$(GO) run ./cmd/experiments

@@ -8,14 +8,18 @@
 //	ossmt -workload apache -cycles 6000000
 //	ossmt -workload specint -proc ss -apponly -cycles 4000000
 //	ossmt -workload apache -warmup 3000000 -cycles 6000000 -seed 7
+//	ossmt -workload apache -loss 0.05 -crashrate 0.01 -deadline 2m
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/report"
 )
 
@@ -35,6 +39,16 @@ func main() {
 		idleSpin = flag.Bool("idlespin", false, "idle contexts spin instead of halting")
 		rrFetch  = flag.Bool("rrfetch", false, "round-robin fetch instead of ICOUNT")
 		perProg  = flag.Bool("perthread", false, "print a per-thread breakdown")
+
+		// Fault injection (see FAULTS.md).
+		loss      = flag.Float64("loss", 0, "per-frame network loss probability [0,1]")
+		corrupt   = flag.Float64("corrupt", 0, "per-frame network corruption probability [0,1]")
+		delayRate = flag.Float64("delay", 0, "per-frame network delay probability [0,1]")
+		maxDelay  = flag.Int("maxdelay", 0, "max in-transit delay in 10ms ticks (0 = default)")
+		crashRate = flag.Float64("crashrate", 0, "per-syscall Apache worker crash probability [0,1]")
+		faultSeed = flag.Uint64("faultseed", 0, "fault-sampling seed (0 = derive from -seed)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
+		watchdog  = flag.Uint64("watchdog", 0, "livelock window in cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -48,6 +62,15 @@ func main() {
 		Clients:         *clients,
 		IdleSpin:        *idleSpin,
 		RoundRobinFetch: *rrFetch,
+		Faults: faults.Config{
+			Seed:           *faultSeed,
+			LossRate:       *loss,
+			CorruptRate:    *corrupt,
+			DelayRate:      *delayRate,
+			MaxDelayTicks:  *maxDelay,
+			CrashRate:      *crashRate,
+			LivelockWindow: *watchdog,
+		},
 	}
 	switch *proc {
 	case "smt":
@@ -59,20 +82,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	var sim *core.Simulator
-	switch *workload {
-	case "specint":
-		sim = core.NewSPECInt(opts)
-	case "apache":
-		sim = core.NewApache(opts)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q (specint|apache)\n", *workload)
+	sim, err := core.New(*workload, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	sim.Run(*warmup)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	if err := sim.RunChecked(ctx, *warmup); err != nil {
+		fail(err)
+	}
 	before := report.Take(sim)
-	sim.Run(*cycles)
+	if err := sim.RunChecked(ctx, *cycles); err != nil {
+		fail(err)
+	}
 	after := report.Take(sim)
 	w := report.Delta(before, after)
 
@@ -83,4 +112,24 @@ func main() {
 		fmt.Println()
 		fmt.Print(report.PerProgram(sim))
 	}
+}
+
+// fail prints a structured watchdog error (livelock, deadline, or recovered
+// panic — each already carries its diagnostic snapshot) and exits nonzero.
+func fail(err error) {
+	var (
+		ll *faults.LivelockError
+		dl *faults.DeadlineError
+		pe *faults.PanicError
+	)
+	switch {
+	case errors.As(err, &ll):
+		fmt.Fprintln(os.Stderr, "ossmt: watchdog tripped (livelock)")
+	case errors.As(err, &dl):
+		fmt.Fprintln(os.Stderr, "ossmt: watchdog tripped (deadline)")
+	case errors.As(err, &pe):
+		fmt.Fprintln(os.Stderr, "ossmt: simulation panic (recovered)")
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

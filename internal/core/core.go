@@ -12,6 +12,9 @@
 package core
 
 import (
+	"fmt"
+
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/pipeline"
@@ -79,6 +82,36 @@ type Options struct {
 	// for file reads (0 = default 0.92; use a small positive value to
 	// model the disk-bound machine the paper speculates about in §2.2.1).
 	BufferCacheHitRate float64
+	// Faults configures fault injection (zero value = disabled; a
+	// disabled configuration perturbs nothing).
+	Faults faults.Config
+}
+
+// Validate rejects nonsensical option values. The New* constructors call it
+// and panic on error; use New for the error-returning path.
+func (o Options) Validate() error {
+	if o.Contexts < 0 {
+		return fmt.Errorf("core: negative Contexts %d", o.Contexts)
+	}
+	if o.FetchContexts < 0 {
+		return fmt.Errorf("core: negative FetchContexts %d", o.FetchContexts)
+	}
+	if o.Clients < 0 {
+		return fmt.Errorf("core: negative Clients %d", o.Clients)
+	}
+	if o.ServerProcesses < 0 {
+		return fmt.Errorf("core: negative ServerProcesses %d", o.ServerProcesses)
+	}
+	if o.KeepAliveRequests < 0 {
+		return fmt.Errorf("core: negative KeepAliveRequests %d", o.KeepAliveRequests)
+	}
+	if o.BufferCacheHitRate < 0 || o.BufferCacheHitRate > 1 {
+		return fmt.Errorf("core: BufferCacheHitRate %v outside [0,1]", o.BufferCacheHitRate)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Simulator couples a machine, its OS, and a workload.
@@ -93,6 +126,10 @@ type Simulator struct {
 	Programs []*workload.ScriptProgram
 	// Workload names the workload ("specint", "apache").
 	Workload string
+	// Faults is the fault injector (nil when fault injection is off).
+	Faults *faults.Injector
+	// Opts is the configuration the simulator was built with.
+	Opts Options
 }
 
 // pipelineConfig builds the pipeline configuration from options.
@@ -134,6 +171,9 @@ func kernelConfig(o Options, contexts int) kernel.Config {
 
 // assemble wires kernel and engine.
 func assemble(o Options) (*Simulator, kernel.Config) {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
 	pcfg := pipelineConfig(o)
 	kcfg := kernelConfig(o, pcfg.Contexts)
 	k := kernel.New(kcfg)
@@ -143,7 +183,17 @@ func assemble(o Options) (*Simulator, kernel.Config) {
 		e.Hier.OmitPrivileged = true
 		e.Pred.OmitPrivileged = true
 	}
-	return &Simulator{Engine: e, Kernel: k}, kcfg
+	sim := &Simulator{Engine: e, Kernel: k, Opts: o}
+	if o.Faults.Enabled() {
+		fcfg := o.Faults
+		if fcfg.Seed == 0 {
+			// Derive a replayable fault seed from the simulation seed.
+			fcfg.Seed = o.Seed + 404
+		}
+		sim.Faults = faults.NewInjector(fcfg)
+		k.SetFaults(sim.Faults)
+	}
+	return sim, kcfg
 }
 
 // NewSPECInt builds the paper's multiprogrammed SPECInt95 simulation: the
@@ -175,6 +225,9 @@ func NewApache(o Options) *Simulator {
 	net := netsim.New(ncfg)
 	sim.Net = net
 	sim.Kernel.SetNIC(net)
+	if sim.Faults != nil {
+		net.SetFaults(sim.Faults)
+	}
 
 	acfg := apache.DefaultConfig()
 	acfg.Seed = o.Seed + 303
@@ -192,9 +245,31 @@ func NewApache(o Options) *Simulator {
 
 	for _, p := range srv.Programs() {
 		sim.Programs = append(sim.Programs, p)
-		sim.Kernel.AddProgram(p)
+		sim.Kernel.AddWorker(p)
+	}
+	if sim.Faults != nil {
+		sim.Kernel.SetRespawn(func() workload.Program {
+			p := srv.Respawn()
+			sim.Programs = append(sim.Programs, p)
+			return p
+		})
 	}
 	return sim
+}
+
+// New builds a simulator for the named workload ("apache" or "specint"),
+// returning an error (instead of panicking) on invalid options.
+func New(workloadName string, o Options) (sim *Simulator, err error) {
+	if verr := o.Validate(); verr != nil {
+		return nil, verr
+	}
+	switch workloadName {
+	case "apache", "specweb", "web":
+		return NewApache(o), nil
+	case "specint", "spec":
+		return NewSPECInt(o), nil
+	}
+	return nil, fmt.Errorf("core: unknown workload %q", workloadName)
 }
 
 // Run advances the simulation by n cycles.

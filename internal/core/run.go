@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// watchdogChunk is the stepping granularity of RunChecked: the watchdog
+// inspects retirement progress and the context deadline every chunk.
+const watchdogChunk = 20_000
+
+// RunChecked advances the simulation by n cycles under the simulation
+// guardrails: it converts engine invariant panics into *faults.PanicError,
+// detects livelock (no instruction retired across the configured window,
+// default faults.DefaultLivelockWindow cycles) as *faults.LivelockError, and
+// honors ctx cancellation and deadline as *faults.DeadlineError. Every
+// structured error carries a diagnostic snapshot of the machine state at the
+// trip point. A nil return means all n cycles ran.
+func (s *Simulator) RunChecked(ctx context.Context, n uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &faults.PanicError{
+				Value: r,
+				Stack: debug.Stack(),
+				Diag:  s.diagBestEffort(),
+			}
+		}
+	}()
+
+	window := s.Opts.Faults.LivelockWindow
+	if window == 0 {
+		window = faults.DefaultLivelockWindow
+	}
+	lastRetired := s.Engine.Metrics.Retired
+	lastProgress := s.Engine.Now()
+
+	for done := uint64(0); done < n; {
+		if cerr := ctx.Err(); cerr != nil {
+			return &faults.DeadlineError{Cycle: s.Engine.Now(), Cause: cerr, Diag: s.Diagnostics()}
+		}
+		chunk := uint64(watchdogChunk)
+		if n-done < chunk {
+			chunk = n - done
+		}
+		s.Engine.Run(chunk)
+		done += chunk
+
+		if r := s.Engine.Metrics.Retired; r != lastRetired {
+			lastRetired = r
+			lastProgress = s.Engine.Now()
+		} else if s.Engine.Now()-lastProgress >= window {
+			return &faults.LivelockError{Cycle: s.Engine.Now(), Window: window, Diag: s.Diagnostics()}
+		}
+	}
+	return nil
+}
+
+// diagBestEffort snapshots diagnostics while tolerating a second panic (the
+// state a PanicError describes is already broken).
+func (s *Simulator) diagBestEffort() (diag string) {
+	defer func() {
+		if recover() != nil {
+			diag = "(diagnostics unavailable: snapshot panicked)"
+		}
+	}()
+	return s.Diagnostics()
+}
+
+// Diagnostics renders a snapshot of simulator state — pipeline contexts,
+// kernel thread states, and (for web runs) the client fleet — for watchdog
+// trip reports and operator debugging.
+func (s *Simulator) Diagnostics() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s processor=%s cycle=%d\n", s.Workload, s.Opts.Processor, s.Engine.Now())
+	b.WriteString(s.Engine.DiagString())
+	runnable, running, blocked, exited := s.Kernel.StateCounts()
+	fmt.Fprintf(&b, "kernel: runnable=%d running=%d blocked=%d exited=%d runQ=%d crashes=%d respawns=%d\n",
+		runnable, running, blocked, exited, s.Kernel.RunQLen(), s.Kernel.WorkerCrashes, s.Kernel.WorkerRespawns)
+	if s.Net != nil {
+		fmt.Fprintf(&b, "net: requests=%d completed=%d outstanding=%d retransmits=%d aborted=%d resets=%d\n",
+			s.Net.Requests, s.Net.Completed, s.Net.Outstanding(),
+			s.Net.Retransmits, s.Net.Aborted, s.Net.Resets)
+	}
+	if s.Faults != nil {
+		i := s.Faults
+		fmt.Fprintf(&b, "faults: dropped→srv=%d dropped→cli=%d corrupted=%d delayed=%d crashes=%d\n",
+			i.DroppedToServer, i.DroppedToClient, i.Corrupted, i.Delayed, i.Crashes)
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-fetch", "ablation-contexts", "ablation-idle",
 		"ablation-interrupt", "ablation-procs", "ablation-dma",
 		"ablation-affinity", "ablation-keepalive", "ablation-diskbound",
+		"ablation-loss", "ablation-crash",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -143,6 +144,24 @@ func TestExperimentsProduceStableKeys(t *testing.T) {
 			if _, ok := res.Values[k]; !ok {
 				t.Fatalf("%s missing key %q (has %v)", id, k, res.Values)
 			}
+		}
+	}
+}
+
+// TestFaultAblationsRender smoke-runs the fault-injection ablations at tiny
+// scale: both must render via the registry, and the faulted rows must show
+// recovery activity at tiny scale too.
+func TestFaultAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several multi-hundred-kilocycle simulations")
+	}
+	for _, id := range []string{"ablation-loss", "ablation-crash"} {
+		res, err := Run(id, tiny, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Text) < 50 || len(res.Values) == 0 {
+			t.Fatalf("%s produced thin output:\n%s", id, res.Text)
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package faults
+
+import "fmt"
+
+// LivelockError reports that the watchdog saw no instruction retire for a
+// full window of cycles: the simulation is burning cycles without forward
+// progress (every context starved, blocked, or wedged).
+type LivelockError struct {
+	// Cycle is the simulation cycle at which the watchdog tripped.
+	Cycle uint64
+	// Window is the no-retirement window that elapsed.
+	Window uint64
+	// Diag is the diagnostic state snapshot taken on trip.
+	Diag string
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("faults: livelock — no instruction retired in %d cycles (at cycle %d)\n%s",
+		e.Window, e.Cycle, e.Diag)
+}
+
+// DeadlineError reports that a run was cut short by its context (wall-clock
+// deadline or cancellation), with the simulation state at the cut.
+type DeadlineError struct {
+	// Cycle is the simulation cycle reached before the deadline hit.
+	Cycle uint64
+	// Cause is the context's error (context.DeadlineExceeded/Canceled).
+	Cause error
+	// Diag is the diagnostic state snapshot taken on trip.
+	Diag string
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("faults: run stopped at cycle %d: %v\n%s", e.Cycle, e.Cause, e.Diag)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *DeadlineError) Unwrap() error { return e.Cause }
+
+// PanicError wraps an engine invariant panic recovered by RunChecked. The
+// simulation state is inconsistent afterwards and must not be reused.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack at the panic.
+	Stack []byte
+	// Diag is the diagnostic state snapshot taken on recovery (best
+	// effort: the state it describes is the broken one).
+	Diag string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("faults: simulation panic: %v\n%s\n%s", e.Value, e.Diag, e.Stack)
+}

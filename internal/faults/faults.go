@@ -1,0 +1,203 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// reproduction's resilience layer. The paper's measurement stack assumes a
+// perfect world — a lossless zero-latency network (§2.3), an Apache pool
+// that never loses a worker, and a simulator that either finishes or
+// panics. This package parameterizes three fault domains so the degraded
+// modes can be measured too:
+//
+//   - network: per-frame loss, corruption, and delay on the simulated wire
+//     (package netsim reacts with client timeout + retransmit under capped
+//     exponential backoff);
+//   - process: Apache worker crashes at syscall boundaries (package kernel
+//     reacts by running the exit path, tearing the address space down, and
+//     re-forking a replacement worker);
+//   - simulation guardrails: a watchdog (core.RunChecked) that detects
+//     livelock and deadline overrun, and converts engine panics into
+//     structured errors carrying a diagnostic snapshot.
+//
+// Everything is seeded and replayable: each fault domain draws from its own
+// deterministic stream, so the same seed and fault configuration produce
+// bit-identical metrics across runs. A zero Config disables injection
+// entirely and, by construction, perturbs nothing: disabled paths consume
+// no randomness, so fault-free runs are bit-identical to a build without
+// this package.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Defaults for the client retry machinery and the watchdog.
+const (
+	// DefaultRetryTimeoutTicks is the initial client retransmit timeout in
+	// 10 ms network ticks.
+	DefaultRetryTimeoutTicks = 3
+	// DefaultBackoffCapTicks caps the exponential retransmit backoff.
+	DefaultBackoffCapTicks = 48
+	// DefaultMaxRetries is how many retransmits a client attempts before
+	// abandoning the request and reconnecting fresh.
+	DefaultMaxRetries = 5
+	// DefaultLivelockWindow is the watchdog's no-retirement window in
+	// cycles before a run is declared livelocked.
+	DefaultLivelockWindow = 2_000_000
+)
+
+// Config parameterizes fault injection. The zero value disables every
+// domain (the default, zero-perturbation configuration).
+type Config struct {
+	// Seed drives all fault sampling; 0 lets the simulation derive one
+	// from its own seed so that fault decisions are replayable.
+	Seed uint64
+
+	// LossRate is the per-frame probability the wire drops a frame
+	// (either direction).
+	LossRate float64
+	// CorruptRate is the per-frame probability a frame arrives damaged;
+	// the receiver discards it after paying the protocol-stack cost.
+	CorruptRate float64
+	// DelayRate is the per-frame probability a frame is held in transit.
+	DelayRate float64
+	// MaxDelayTicks is the maximum in-transit delay in network ticks
+	// (uniform 1..MaxDelayTicks; 0 means a default of 2 when DelayRate>0).
+	MaxDelayTicks int
+
+	// RetryTimeoutTicks overrides the initial client retransmit timeout
+	// (0 = DefaultRetryTimeoutTicks).
+	RetryTimeoutTicks int
+	// BackoffCapTicks overrides the retransmit backoff cap
+	// (0 = DefaultBackoffCapTicks).
+	BackoffCapTicks int
+	// MaxRetries overrides the per-request retransmit budget
+	// (0 = DefaultMaxRetries).
+	MaxRetries int
+
+	// CrashRate is the per-syscall-boundary probability that an Apache
+	// worker process dies mid-request.
+	CrashRate float64
+	// MaxCrashes caps total injected crashes (0 = unlimited).
+	MaxCrashes uint64
+
+	// LivelockWindow is the watchdog's no-retirement window in cycles for
+	// core.RunChecked (0 = DefaultLivelockWindow).
+	LivelockWindow uint64
+}
+
+// Enabled reports whether any fault domain injects (the client retry
+// machinery arms whenever this is true, so crashes are recoverable even
+// without network faults).
+func (c Config) Enabled() bool {
+	return c.LossRate > 0 || c.CorruptRate > 0 || c.DelayRate > 0 || c.CrashRate > 0
+}
+
+// Validate rejects nonsensical fault parameters.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"LossRate", c.LossRate},
+		{"CorruptRate", c.CorruptRate},
+		{"DelayRate", c.DelayRate},
+		{"CrashRate", c.CrashRate},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.MaxDelayTicks < 0 {
+		return fmt.Errorf("faults: negative MaxDelayTicks %d", c.MaxDelayTicks)
+	}
+	if c.RetryTimeoutTicks < 0 || c.BackoffCapTicks < 0 || c.MaxRetries < 0 {
+		return fmt.Errorf("faults: negative retry parameter (timeout %d, cap %d, retries %d)",
+			c.RetryTimeoutTicks, c.BackoffCapTicks, c.MaxRetries)
+	}
+	return nil
+}
+
+// withDefaults fills zero retry/delay parameters.
+func (c Config) withDefaults() Config {
+	if c.RetryTimeoutTicks == 0 {
+		c.RetryTimeoutTicks = DefaultRetryTimeoutTicks
+	}
+	if c.BackoffCapTicks == 0 {
+		c.BackoffCapTicks = DefaultBackoffCapTicks
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.MaxDelayTicks == 0 {
+		c.MaxDelayTicks = 2
+	}
+	return c
+}
+
+// Injector samples fault decisions and accumulates counters. Each domain
+// draws from its own stream so that, e.g., enabling crashes does not
+// perturb which network frames are dropped.
+type Injector struct {
+	Cfg Config
+
+	netRng  *rng.Rand
+	procRng *rng.Rand
+
+	// DroppedToServer / DroppedToClient count frames the wire lost, by
+	// direction; Corrupted counts frames delivered damaged; Delayed counts
+	// frames held in transit.
+	DroppedToServer uint64
+	DroppedToClient uint64
+	Corrupted       uint64
+	Delayed         uint64
+	// Crashes counts injected worker deaths.
+	Crashes uint64
+}
+
+// NewInjector builds an injector. Call only with a validated config; the
+// zero-rate domains never sample their stream.
+func NewInjector(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{
+		Cfg:     cfg,
+		netRng:  rng.New(cfg.Seed ^ 0x6e657466_61756c74), // "netfault"
+		procRng: rng.New(cfg.Seed ^ 0x70726f63_66617574), // "procfaut"
+	}
+}
+
+// DropFrame decides whether the wire loses a frame.
+func (i *Injector) DropFrame() bool {
+	return i.Cfg.LossRate > 0 && i.netRng.Bool(i.Cfg.LossRate)
+}
+
+// CorruptFrame decides whether a frame arrives damaged.
+func (i *Injector) CorruptFrame() bool {
+	if i.Cfg.CorruptRate > 0 && i.netRng.Bool(i.Cfg.CorruptRate) {
+		i.Corrupted++
+		return true
+	}
+	return false
+}
+
+// DelayTicks returns the in-transit delay for a frame (0 = deliver now).
+func (i *Injector) DelayTicks() int {
+	if i.Cfg.DelayRate <= 0 || !i.netRng.Bool(i.Cfg.DelayRate) {
+		return 0
+	}
+	i.Delayed++
+	return 1 + i.netRng.Intn(i.Cfg.MaxDelayTicks)
+}
+
+// CrashNow decides whether a worker dies at this syscall boundary.
+func (i *Injector) CrashNow() bool {
+	if i.Cfg.CrashRate <= 0 {
+		return false
+	}
+	if i.Cfg.MaxCrashes > 0 && i.Crashes >= i.Cfg.MaxCrashes {
+		return false
+	}
+	if !i.procRng.Bool(i.Cfg.CrashRate) {
+		return false
+	}
+	i.Crashes++
+	return true
+}

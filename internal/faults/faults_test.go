@@ -1,0 +1,129 @@
+package faults
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{LossRate: 0.5, CorruptRate: 1, DelayRate: 0.01, CrashRate: 0.2},
+		{MaxDelayTicks: 3, RetryTimeoutTicks: 2, BackoffCapTicks: 10, MaxRetries: 7},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{LossRate: -0.1},
+		{LossRate: 1.5},
+		{CorruptRate: 2},
+		{DelayRate: -1},
+		{CrashRate: 7},
+		{MaxDelayTicks: -1},
+		{RetryTimeoutTicks: -1},
+		{BackoffCapTicks: -2},
+		{MaxRetries: -3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	for _, c := range []Config{
+		{LossRate: 0.1}, {CorruptRate: 0.1}, {DelayRate: 0.1}, {CrashRate: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("config %+v reports disabled", c)
+		}
+	}
+	// Retry tuning alone does not enable injection.
+	if (Config{MaxRetries: 3, RetryTimeoutTicks: 5}).Enabled() {
+		t.Fatal("retry-only config reports enabled")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.RetryTimeoutTicks != DefaultRetryTimeoutTicks ||
+		c.BackoffCapTicks != DefaultBackoffCapTicks ||
+		c.MaxRetries != DefaultMaxRetries {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+	c = Config{RetryTimeoutTicks: 9, BackoffCapTicks: 99, MaxRetries: 2}.withDefaults()
+	if c.RetryTimeoutTicks != 9 || c.BackoffCapTicks != 99 || c.MaxRetries != 2 {
+		t.Fatalf("explicit values overridden: %+v", c)
+	}
+}
+
+// TestInjectorDeterministic: the same seed produces the same fault decisions.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, LossRate: 0.3, CorruptRate: 0.1, DelayRate: 0.2, CrashRate: 0.05}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for i := 0; i < 10_000; i++ {
+		if a.DropFrame() != b.DropFrame() {
+			t.Fatalf("DropFrame diverged at draw %d", i)
+		}
+		if a.CorruptFrame() != b.CorruptFrame() {
+			t.Fatalf("CorruptFrame diverged at draw %d", i)
+		}
+		if a.DelayTicks() != b.DelayTicks() {
+			t.Fatalf("DelayTicks diverged at draw %d", i)
+		}
+		if a.CrashNow() != b.CrashNow() {
+			t.Fatalf("CrashNow diverged at draw %d", i)
+		}
+	}
+	if a.DroppedToServer+a.DroppedToClient != 0 {
+		t.Fatal("DropFrame must not count; direction counters belong to the caller")
+	}
+	if a.Corrupted == 0 || a.Delayed == 0 || a.Crashes == 0 {
+		t.Fatalf("expected nonzero counters: %+v", a)
+	}
+}
+
+// TestStreamsIndependent: the process-fault stream does not perturb the
+// network stream — enabling crashes must not change which frames drop.
+func TestStreamsIndependent(t *testing.T) {
+	netOnly := NewInjector(Config{Seed: 7, LossRate: 0.25})
+	both := NewInjector(Config{Seed: 7, LossRate: 0.25, CrashRate: 0.5})
+	for i := 0; i < 10_000; i++ {
+		both.CrashNow() // interleave process-domain draws
+		if netOnly.DropFrame() != both.DropFrame() {
+			t.Fatalf("net stream perturbed by crash sampling at draw %d", i)
+		}
+	}
+}
+
+// TestDisabledDomainsDrawNothing: a domain with rate 0 consumes no
+// randomness, so enabling one domain cannot shift another (and a fully
+// disabled config perturbs nothing).
+func TestDisabledDomainsDrawNothing(t *testing.T) {
+	i := NewInjector(Config{Seed: 3}) // all rates zero
+	for n := 0; n < 1000; n++ {
+		if i.DropFrame() || i.CorruptFrame() || i.DelayTicks() != 0 || i.CrashNow() {
+			t.Fatal("disabled injector produced a fault")
+		}
+	}
+	if i.Corrupted+i.Delayed+i.Crashes != 0 {
+		t.Fatalf("disabled injector counted faults: %+v", i)
+	}
+}
+
+func TestMaxCrashesCap(t *testing.T) {
+	i := NewInjector(Config{Seed: 1, CrashRate: 1, MaxCrashes: 3})
+	n := 0
+	for k := 0; k < 100; k++ {
+		if i.CrashNow() {
+			n++
+		}
+	}
+	if n != 3 || i.Crashes != 3 {
+		t.Fatalf("crash cap not honored: fired %d, counted %d", n, i.Crashes)
+	}
+}

@@ -461,6 +461,10 @@ func (k *Kernel) userStep(ctx int, t *Thread) bool {
 // when the call retires (syscalls serialize the pipeline).
 func (k *Kernel) startSyscall(ctx int, t *Thread, req sys.Request) bool {
 	f := &k.feeds[ctx]
+	if k.maybeCrash(ctx, t) {
+		// The worker died at this syscall boundary instead of issuing it.
+		return true
+	}
 	if k.cfg.AppOnly {
 		// §2.3.1: the call completes instantly with no hardware effect.
 		k.SyscallCount[req.Num]++
@@ -664,6 +668,91 @@ func (k *Kernel) exitThread(ctx int, t *Thread) {
 		onDone: func() {
 			f.cur = nil
 		},
+	})
+}
+
+// maybeCrash samples the process-fault domain: with fault injection armed,
+// a worker thread may die at a syscall boundary. It returns true when the
+// thread was killed (and a replacement scheduled).
+func (k *Kernel) maybeCrash(ctx int, t *Thread) bool {
+	if k.faults == nil || !t.worker || !k.faults.CrashNow() {
+		return false
+	}
+	k.crashWorker(ctx, t)
+	return true
+}
+
+// crashWorker kills a running worker mid-request: locks it held are
+// released, its sockets are reaped (the client sees a reset), the kernel
+// runs the involuntary-exit path (reusing the same teardown as a voluntary
+// exit — ASN invalidation and address-space release at retirement), and the
+// master re-forks a replacement.
+func (k *Kernel) crashWorker(ctx int, t *Thread) {
+	f := &k.feeds[ctx]
+	k.WorkerCrashes++
+	t.state = tsExited
+	t.burst = 0
+	for i := range k.lockHolder {
+		if k.lockHolder[i] == t.tid {
+			k.lockHolder[i] = 0
+		}
+	}
+	k.reapSockets(t)
+	k.SyscallCount[sys.SysExit]++
+	if k.cfg.AppOnly {
+		k.finishExit(t.tid)
+		f.cur = nil
+		k.respawnWorker(ctx)
+		return
+	}
+	// The master's re-fork work is charged first on the stack (runs after
+	// the exit path drains).
+	k.respawnWorker(ctx)
+	ret := isa.Inst{
+		PC:     k.code.palSys.reg.Base + k.code.palSys.reg.Size() - 4,
+		Class:  isa.PALReturn,
+		Mode:   isa.PAL,
+		Taken:  true,
+		Target: k.code.sched.reg.Base,
+	}
+	f.push(genEntry{
+		g: &workload.Tail{
+			G:     k.code.services[sys.SysExit].limit(ctx, dynLen(sys.Request{Num: sys.SysExit})),
+			Extra: []isa.Inst{ret},
+		},
+		tmpl: tmplFor(t, sys.CatSyscall, sys.SysExit),
+		onDone: func() {
+			f.cur = nil
+		},
+	})
+}
+
+// respawnWorker is the master's reaction to a worker death: fork a
+// replacement process into the pool (fresh pid and ASN — exercising ASN
+// recycling once the space wraps — and a cold address space).
+func (k *Kernel) respawnWorker(ctx int) {
+	if k.respawn == nil {
+		return
+	}
+	prog := k.respawn()
+	if prog == nil {
+		return
+	}
+	nt := k.AddWorker(prog)
+	k.WorkerRespawns++
+	k.SyscallCount[sys.SysFork]++
+	forkReq := sys.Request{Num: sys.SysFork, Resource: sys.ResProcess}
+	if int(forkReq.Resource) < len(k.SvcInstByRes) {
+		k.SvcInstByRes[forkReq.Resource] += uint64(dynLen(forkReq))
+	}
+	if k.cfg.AppOnly {
+		return
+	}
+	tmpl := kthreadTmpl(nt.tid, sys.CatSyscall)
+	tmpl.Sys = sys.SysFork
+	k.feeds[ctx].push(genEntry{
+		g:    k.code.services[sys.SysFork].limit(ctx, dynLen(forkReq)),
+		tmpl: tmpl,
 	})
 }
 

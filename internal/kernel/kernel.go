@@ -20,6 +20,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
@@ -129,6 +130,9 @@ type Thread struct {
 	wakeResult int
 	// sock is the socket index the thread is blocked on (-1 none).
 	sock int
+	// worker marks a crashable, respawnable server process (the
+	// fault-injection process domain targets only these).
+	worker bool
 }
 
 // TID returns the thread's identifier.
@@ -163,6 +167,11 @@ type Kernel struct {
 
 	net *netState
 
+	// faults is the fault injector (nil = no process faults); respawn
+	// builds a replacement worker after an injected crash.
+	faults  *faults.Injector
+	respawn func() workload.Program
+
 	// Counters surfaced in reports.
 	ContextSwitches uint64
 	Preemptions     uint64
@@ -183,6 +192,10 @@ type Kernel struct {
 	SpinInsts       uint64
 	// DiskReads counts buffer-cache misses that ran the disk-driver path.
 	DiskReads uint64
+	// WorkerCrashes and WorkerRespawns count the fault-injection process
+	// domain: injected worker deaths and the master's re-forks.
+	WorkerCrashes  uint64
+	WorkerRespawns uint64
 }
 
 // cacheInvalidator is the slice of the cache hierarchy the kernel needs for
@@ -327,6 +340,42 @@ func (k *Kernel) AddProgram(prog workload.Program) *Thread {
 	k.runQ = append(k.runQ, t)
 	return t
 }
+
+// AddWorker registers a user process that the fault-injection process
+// domain may crash (an Apache pool worker).
+func (k *Kernel) AddWorker(prog workload.Program) *Thread {
+	t := k.AddProgram(prog)
+	t.worker = true
+	return t
+}
+
+// SetFaults attaches the fault injector (nil disables process faults).
+func (k *Kernel) SetFaults(inj *faults.Injector) { k.faults = inj }
+
+// SetRespawn installs the master's re-fork hook: called after an injected
+// worker crash to build the replacement process.
+func (k *Kernel) SetRespawn(fn func() workload.Program) { k.respawn = fn }
+
+// StateCounts returns the scheduler population by state, for watchdog
+// diagnostics.
+func (k *Kernel) StateCounts() (runnable, running, blocked, exited int) {
+	for _, t := range k.threads {
+		switch t.state {
+		case tsRunnable:
+			runnable++
+		case tsRunning:
+			running++
+		case tsBlocked:
+			blocked++
+		case tsExited:
+			exited++
+		}
+	}
+	return
+}
+
+// RunQLen returns the number of queued runnable threads.
+func (k *Kernel) RunQLen() int { return len(k.runQ) }
 
 // Threads returns all registered threads.
 func (k *Kernel) Threads() []*Thread { return k.threads }

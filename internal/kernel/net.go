@@ -17,6 +17,9 @@ type Frame struct {
 	// Ack marks a bare acknowledgment: protocol-stack work with no data
 	// to deliver.
 	Ack bool
+	// Corrupt marks a frame damaged in transit (fault injection): the
+	// receiver pays the protocol-stack cost, then discards it.
+	Corrupt bool
 }
 
 // NIC is the device interface the network simulator implements. The kernel
@@ -41,6 +44,9 @@ type socket struct {
 	data    int
 	closed  bool
 	waiters []*Thread
+	// owner is the tid of the thread that accepted the socket (0 = none);
+	// the crash-cleanup path uses it to reap a dead worker's descriptors.
+	owner uint32
 }
 
 // netState is the kernel's network stack state.
@@ -52,7 +58,8 @@ type netState struct {
 	now     uint64
 	// Delivered counts frames fully processed by netisr.
 	Delivered uint64
-	// Dropped counts frames for unknown connections.
+	// Dropped counts frames for unknown connections or discarded as
+	// corrupt after protocol processing.
 	Dropped uint64
 }
 
@@ -130,9 +137,13 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 	ns := k.net
 	for _, fr := range frames {
 		switch {
+		case fr.Corrupt:
+			// Damaged in transit: the stack walked the frame and dropped
+			// it at the checksum.
+			ns.Dropped++
 		case fr.Ack:
 			// Pure protocol work; nothing delivered to a socket.
-		case fr.Open:
+		case fr.Open && !connKnown(ns, fr.Conn):
 			s := &socket{id: len(ns.socks), conn: fr.Conn, data: fr.Bytes}
 			ns.socks = append(ns.socks, s)
 			ns.byConn[fr.Conn] = s.id
@@ -161,6 +172,40 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 	}
 }
 
+// connKnown reports whether a connection already has a socket (a
+// retransmitted SYN under fault injection must not open a duplicate; it is
+// demuxed as data instead).
+func connKnown(ns *netState, conn int) bool {
+	_, ok := ns.byConn[conn]
+	return ok
+}
+
+// reapSockets closes every connection socket owned by a dead thread (the
+// kernel closing a crashed process's descriptors; TCP sends the reset the
+// client sees) and removes the thread from all waiter queues.
+func (k *Kernel) reapSockets(t *Thread) {
+	ns := k.net
+	for _, s := range ns.socks {
+		if len(s.waiters) > 0 {
+			kept := s.waiters[:0]
+			for _, w := range s.waiters {
+				if w != t {
+					kept = append(kept, w)
+				}
+			}
+			s.waiters = kept
+		}
+		if s.listen || s.closed || s.owner != t.tid {
+			continue
+		}
+		s.closed = true
+		delete(ns.byConn, s.conn)
+		if ns.nic != nil {
+			ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
+		}
+	}
+}
+
 // popWaiter removes and returns the oldest thread sleeping on a socket.
 func popWaiter(s *socket) *Thread {
 	if len(s.waiters) == 0 {
@@ -179,6 +224,7 @@ func (k *Kernel) completeAccept(t *Thread, ls *socket) {
 	}
 	sid := ls.acceptQ[0]
 	ls.acceptQ = ls.acceptQ[1:]
+	k.net.socks[sid].owner = t.tid
 	t.wakeResult = sid
 	k.wake(t)
 }
@@ -209,6 +255,7 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 		if len(ls.acceptQ) > 0 {
 			sid := ls.acceptQ[0]
 			ls.acceptQ = ls.acceptQ[1:]
+			ns.socks[sid].owner = t.tid
 			return sid, false
 		}
 		ls.waiters = append(ls.waiters, t)

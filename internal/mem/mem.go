@@ -9,7 +9,10 @@
 // memory-management entries of the paper's Figure 3.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 const (
 	// PageShift is log2 of the page size (8 KB pages, as on Alpha).
@@ -248,7 +251,9 @@ func (m *Memory) allocFrame() (pfn uint64, reclaimed bool) {
 			}
 		}
 	}
-	// All fifo entries were stale (unmapped); compact and retry.
+	// All fifo entries were stale (unmapped); compact and retry. The frame
+	// list is sorted so the rebuilt fifo does not depend on map iteration
+	// order (the simulation must be deterministic).
 	m.fifo = m.fifo[:0]
 	m.fifoHead = 0
 	for pid, t := range m.tables {
@@ -260,6 +265,7 @@ func (m *Memory) allocFrame() (pfn uint64, reclaimed bool) {
 	if len(m.fifo) == 0 {
 		panic("mem: no frames to reclaim")
 	}
+	sort.Slice(m.fifo, func(i, j int) bool { return m.fifo[i] < m.fifo[j] })
 	victim := m.fifo[0]
 	m.fifoHead = 1
 	own := m.owners[victim]
@@ -288,14 +294,20 @@ func (m *Memory) ReleaseProcess(pid uint64) int {
 		return 0
 	}
 	t := m.tables[pid]
-	n := 0
-	for vpn, pfn := range t {
-		delete(t, vpn)
-		m.free = append(m.free, pfn)
-		n++
+	// Free frames in sorted page order: map iteration order is randomized,
+	// and the free list feeds later allocations, so an unsorted release
+	// would make every post-exit allocation nondeterministic.
+	pfns := make([]uint64, 0, len(t))
+	for _, pfn := range t {
+		pfns = append(pfns, pfn)
 	}
-	m.Unmappings += uint64(n)
-	return n
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+	for vpn := range t {
+		delete(t, vpn)
+	}
+	m.free = append(m.free, pfns...)
+	m.Unmappings += uint64(len(pfns))
+	return len(pfns)
 }
 
 // MappedPages returns the number of pages mapped for pid (kernel uses

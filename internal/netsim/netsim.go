@@ -13,9 +13,19 @@
 //
 // The request mix follows SPECWeb96's four file classes (100 B–900 B,
 // 1–9 KB, 10–90 KB, 100–900 KB with 35/50/14/1 percent weights).
+//
+// With a faults.Injector attached (SetFaults), the wire becomes lossy:
+// frames may be dropped, corrupted, or delayed in either direction, and
+// clients grow a TCP-like recovery layer — a retransmit timer with capped
+// exponential backoff, a bounded retry budget after which the request is
+// abandoned, and reconnect-on-reset when the server side dies mid-request.
+// All fault sampling comes from the injector's own deterministic stream;
+// with no injector (the default) none of these paths execute and behavior
+// is bit-identical to the fault-free driver.
 package netsim
 
 import (
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/rng"
 )
@@ -63,10 +73,23 @@ type client struct {
 	// acks counts acknowledgment frames owed to the server for received
 	// response segments (sent at the next tick, like a real TCP peer).
 	acks int
+	// retryAt is the tick the retransmit timer fires (0 = unarmed; armed
+	// only under fault injection).
+	retryAt uint64
+	// retries counts retransmits of the current request.
+	retries int
+	// timeout is the current backoff interval in ticks.
+	timeout int
 }
 
-// Network implements kernel.NIC: the client fleet plus the lossless,
-// zero-latency wire.
+// delayedFrame is a frame held in transit by the fault injector.
+type delayedFrame struct {
+	due uint64
+	fr  kernel.Frame
+}
+
+// Network implements kernel.NIC: the client fleet plus the wire (lossless
+// and zero-latency by default; lossy under fault injection).
 type Network struct {
 	cfg     Config
 	rng     *rng.Rand
@@ -75,6 +98,13 @@ type Network struct {
 	nextID  int
 	files   map[int]int // conn -> requested file size
 
+	// inj is the fault injector (nil = perfect wire).
+	inj *faults.Injector
+	// delayedIn holds client→server frames in transit; delayedOut holds
+	// server→client frames in transit.
+	delayedIn  []delayedFrame
+	delayedOut []delayedFrame
+
 	// Requests counts requests issued; Completed counts responses fully
 	// received; BytesServed sums response payloads.
 	Requests    uint64
@@ -82,6 +112,13 @@ type Network struct {
 	BytesServed uint64
 	// PerClass counts completed requests per SPECWeb file class.
 	PerClass [4]uint64
+	// Retransmits counts timer-driven request retransmissions; Aborted
+	// counts requests abandoned after the retry budget; Resets counts
+	// connections torn down by the server mid-request (worker crash)
+	// that the client answered with a fresh connection.
+	Retransmits uint64
+	Aborted     uint64
+	Resets      uint64
 }
 
 // New builds the client fleet.
@@ -100,6 +137,13 @@ func New(cfg Config) *Network {
 		files:   map[int]int{},
 	}
 }
+
+// SetFaults attaches a fault injector to the wire (nil detaches).
+func (n *Network) SetFaults(inj *faults.Injector) { n.inj = inj }
+
+// faultsOn reports whether the lossy-wire and client-retry machinery is
+// active.
+func (n *Network) faultsOn() bool { return n.inj != nil && n.inj.Cfg.Enabled() }
 
 // classOf returns the SPECWeb class index of a file size.
 func classOf(bytes int) int {
@@ -126,17 +170,114 @@ func (n *Network) sampleFile() int {
 	return base * mult
 }
 
+// sendToServer routes a client→server frame through the (possibly lossy)
+// wire, returning the updated arrival batch.
+func (n *Network) sendToServer(out []kernel.Frame, fr kernel.Frame) []kernel.Frame {
+	if !n.faultsOn() {
+		return append(out, fr)
+	}
+	if n.inj.DropFrame() {
+		n.inj.DroppedToServer++
+		return out
+	}
+	if n.inj.CorruptFrame() {
+		fr.Corrupt = true
+	}
+	if d := n.inj.DelayTicks(); d > 0 {
+		n.delayedIn = append(n.delayedIn, delayedFrame{due: n.ticks + uint64(d), fr: fr})
+		return out
+	}
+	return append(out, fr)
+}
+
+// releaseDue moves frames whose transit delay expired out of q, delivering
+// each via deliver; it returns the still-in-transit remainder.
+func (n *Network) releaseDue(q []delayedFrame, deliver func(kernel.Frame)) []delayedFrame {
+	kept := q[:0]
+	for _, d := range q {
+		if d.due <= n.ticks {
+			deliver(d.fr)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// armRetry starts (or restarts) a client's retransmit timer; no-op unless
+// fault injection is on.
+func (n *Network) armRetry(c *client, fresh bool) {
+	if !n.faultsOn() {
+		return
+	}
+	if fresh {
+		c.retries = 0
+		c.timeout = n.inj.Cfg.RetryTimeoutTicks
+	}
+	c.retryAt = n.ticks + uint64(c.timeout)
+}
+
+// disarmRetry clears the retransmit state after a request resolves.
+func (c *client) disarmRetry() {
+	c.retryAt = 0
+	c.retries = 0
+	c.timeout = 0
+}
+
+// retryExpired handles a fired retransmit timer: resend the request under
+// exponential backoff, or abandon it once the retry budget is spent.
+func (n *Network) retryExpired(c *client, out []kernel.Frame) []kernel.Frame {
+	if c.retries >= n.inj.Cfg.MaxRetries {
+		// Give up: drop the connection (best-effort FIN so the server can
+		// reap the socket) and return to idle for a fresh request.
+		n.Aborted++
+		out = n.sendToServer(out, kernel.Frame{Conn: c.conn, Close: true})
+		n.resetClient(c)
+		return out
+	}
+	c.retries++
+	n.Retransmits++
+	c.timeout *= 2
+	if cap := n.inj.Cfg.BackoffCapTicks; c.timeout > cap {
+		c.timeout = cap
+	}
+	c.retryAt = n.ticks + uint64(c.timeout)
+	// The retransmit carries Open so a lost SYN is recovered too; the
+	// kernel treats a duplicate open on an established connection as data.
+	return n.sendToServer(out, kernel.Frame{Conn: c.conn, Bytes: n.cfg.RequestBytes, Open: true})
+}
+
+// resetClient abandons the in-flight request and frees the client to start
+// over on a fresh connection.
+func (n *Network) resetClient(c *client) {
+	delete(n.files, c.conn)
+	c.conn = 0
+	c.state = csIdle
+	c.reqsLeft = 0
+	c.closing = false
+	c.disarmRetry()
+	c.nextAt = n.ticks + 1 + uint64(n.cfg.ThinkTicks)
+}
+
 // Tick implements kernel.NIC: advance one 10 ms step and return the frames
 // arriving at the server.
 func (n *Network) Tick(now uint64) []kernel.Frame {
 	n.ticks++
 	var out []kernel.Frame
+	if n.faultsOn() {
+		// Deliver frames whose transit delay expired.
+		n.delayedIn = n.releaseDue(n.delayedIn, func(fr kernel.Frame) { out = append(out, fr) })
+		n.delayedOut = n.releaseDue(n.delayedOut, n.deliverToClient)
+	}
 	for i := range n.clients {
 		c := &n.clients[i]
 		// Flush pending TCP acknowledgments for in-flight transfers.
 		for c.acks > 0 {
 			c.acks--
-			out = append(out, kernel.Frame{Conn: c.conn, Ack: true})
+			out = n.sendToServer(out, kernel.Frame{Conn: c.conn, Ack: true})
+		}
+		if c.state == csWaiting && c.retryAt != 0 && n.ticks >= c.retryAt {
+			out = n.retryExpired(c, out)
 		}
 		if c.state != csIdle || c.nextAt > n.ticks {
 			continue
@@ -144,7 +285,7 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 		if c.closing {
 			// Tear down the kept-alive connection before the next one.
 			c.closing = false
-			out = append(out, kernel.Frame{Conn: c.conn, Close: true})
+			out = n.sendToServer(out, kernel.Frame{Conn: c.conn, Close: true})
 			c.conn = 0
 		}
 		size := n.sampleFile()
@@ -155,7 +296,8 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 		if c.conn != 0 {
 			// Keep-alive: next request travels on the open connection.
 			n.files[c.conn] = size
-			out = append(out, kernel.Frame{Conn: c.conn, Bytes: n.cfg.RequestBytes})
+			out = n.sendToServer(out, kernel.Frame{Conn: c.conn, Bytes: n.cfg.RequestBytes})
+			n.armRetry(c, true)
 			continue
 		}
 		conn := n.nextID
@@ -166,19 +308,48 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 		if c.reqsLeft < 0 {
 			c.reqsLeft = 0
 		}
-		out = append(out, kernel.Frame{Conn: conn, Bytes: n.cfg.RequestBytes, Open: true})
+		out = n.sendToServer(out, kernel.Frame{Conn: conn, Bytes: n.cfg.RequestBytes, Open: true})
+		n.armRetry(c, true)
 	}
 	return out
 }
 
 // Transmit implements kernel.NIC: the server sent a frame toward a client.
 func (n *Network) Transmit(fr kernel.Frame, now uint64) {
+	if n.faultsOn() {
+		if n.inj.DropFrame() {
+			n.inj.DroppedToClient++
+			return
+		}
+		if n.inj.CorruptFrame() {
+			// Damaged segment: the client discards it (no ack, no data);
+			// the retransmit timer recovers the payload.
+			return
+		}
+		if d := n.inj.DelayTicks(); d > 0 {
+			n.delayedOut = append(n.delayedOut, delayedFrame{due: n.ticks + uint64(d), fr: fr})
+			return
+		}
+	}
+	n.deliverToClient(fr)
+}
+
+// deliverToClient lands a server frame at the owning client.
+func (n *Network) deliverToClient(fr kernel.Frame) {
 	for i := range n.clients {
 		c := &n.clients[i]
 		if c.state != csWaiting || c.conn != fr.Conn {
 			continue
 		}
 		if fr.Close {
+			if n.faultsOn() && c.got < c.want {
+				// Connection torn down mid-response (worker crash / kernel
+				// reaping an orphaned socket): treat as a reset and start
+				// over on a fresh connection.
+				n.Resets++
+				n.resetClient(c)
+				return
+			}
 			n.finish(c)
 			return
 		}
@@ -199,6 +370,7 @@ func (n *Network) finish(c *client) {
 	delete(n.files, c.conn)
 	c.state = csIdle
 	c.nextAt = n.ticks + 1 + uint64(n.cfg.ThinkTicks)
+	c.disarmRetry()
 	if c.reqsLeft > 0 {
 		// Connection stays open for the next request.
 		c.reqsLeft--

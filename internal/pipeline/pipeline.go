@@ -28,6 +28,8 @@
 package pipeline
 
 import (
+	"fmt"
+	"strings"
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -435,6 +437,31 @@ func New(cfg Config, feed Feed, hier *cache.Hierarchy) *Engine {
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
+
+// DiagString renders a one-look snapshot of per-context pipeline state for
+// watchdog diagnostics: in-flight count, fetch position, and why a context
+// is not making progress (halted, awaiting redirect, or an I-miss).
+func (e *Engine) DiagString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: cycle=%d retired=%d fetched=%d intQ=%d fpQ=%d\n",
+		e.now, e.Metrics.Retired, e.Metrics.Fetched, len(e.intQ), len(e.fpQ))
+	for i := range e.ctxs {
+		c := &e.ctxs[i]
+		state := "running"
+		switch {
+		case e.Feed.Halted(i) && c.sz == 0:
+			state = "halted"
+		case e.now < c.redirectAt:
+			state = fmt.Sprintf("redirect(+%d)", c.redirectAt-e.now)
+		case c.icacheReadyAt > e.now:
+			state = fmt.Sprintf("imiss(+%d)", c.icacheReadyAt-e.now)
+		case c.wrong != nil:
+			state = "wrong-path"
+		}
+		fmt.Fprintf(&b, "  ctx%d: inflight=%d fetchIdx=%d %s\n", i, c.sz, c.fetchIdx, state)
+	}
+	return b.String()
+}
 
 // threadStat returns the stat slot for tid, growing the table as needed.
 func (e *Engine) threadStat(tid uint32) *ThreadStat {

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// golden pins the exact measurement window the seed tree produced before the
+// fault-injection layer landed. With faults disabled (the default), every
+// fault path must consume no randomness and change no behavior, so these
+// values must stay bit-identical forever ("zero perturbation").
+type golden struct {
+	retired, fetched, syscalls uint64
+	netDone, netReq            uint64
+	ctxSwitches, dtlbTraps     uint64
+}
+
+func captureWindow(t *testing.T, o core.Options) golden {
+	t.Helper()
+	o.CyclesPer10ms = 80_000
+	sim := core.NewApache(o)
+	sim.Run(250_000)
+	a := Take(sim)
+	sim.Run(350_000)
+	w := Delta(a, Take(sim))
+	return golden{
+		retired:     w.Metrics.Retired,
+		fetched:     w.Metrics.Fetched,
+		syscalls:    w.Metrics.SyscallsSeen,
+		netDone:     w.NetCompleted,
+		netReq:      w.NetRequests,
+		ctxSwitches: w.ContextSwitches,
+		dtlbTraps:   w.Metrics.DTLBTraps,
+	}
+}
+
+func TestZeroPerturbationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation")
+	}
+	want := map[uint64]golden{
+		1: {retired: 881390, fetched: 1676220, syscalls: 94,
+			netDone: 10, netReq: 7, ctxSwitches: 12, dtlbTraps: 472},
+		7: {retired: 778971, fetched: 1551382, syscalls: 81,
+			netDone: 5, netReq: 5, ctxSwitches: 11, dtlbTraps: 428},
+	}
+	for seed, w := range want {
+		if got := captureWindow(t, core.Options{Seed: seed}); got != w {
+			t.Errorf("seed %d drifted from pre-fault-layer golden values:\n got %+v\nwant %+v",
+				seed, got, w)
+		}
+	}
+	// Superscalar path too.
+	got := captureWindow(t, core.Options{Seed: 3, Processor: core.Superscalar})
+	ss := golden{retired: 141612, fetched: 317904, syscalls: 27, netDone: 0,
+		netReq: got.netReq, ctxSwitches: got.ctxSwitches, dtlbTraps: got.dtlbTraps}
+	if got != ss {
+		t.Errorf("superscalar seed 3 drifted: got %+v want retired=141612 fetched=317904 syscalls=27 netdone=0", got)
+	}
+}
+
+// TestFaultWindowDeterministic: same seed + same fault config ⇒ the full
+// snapshot of the measured window is identical across two runs, resilience
+// counters included.
+func TestFaultWindowDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation")
+	}
+	run := func() Snapshot {
+		sim := core.NewApache(core.Options{
+			Seed:              6,
+			CyclesPer10ms:     60_000,
+			KeepAliveRequests: 3,
+			Faults:            faults.Config{LossRate: 0.08, CrashRate: 0.01},
+		})
+		sim.Run(400_000)
+		a := Take(sim)
+		sim.Run(800_000)
+		return Delta(a, Take(sim))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical faulted runs produced different windows:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.NetRetransmits == 0 {
+		t.Fatal("keep-alive + 8% loss produced no retransmits")
+	}
+	if a.WorkerCrashes == 0 || a.WorkerRespawns == 0 {
+		t.Fatalf("no crash/respawn activity in window: %+v", a)
+	}
+}
+
+func TestSummaryRendersFaultLine(t *testing.T) {
+	var w Snapshot
+	w.Metrics.Cycles = 1000
+	if strings.Contains(Summary("t", w), "faults:") {
+		t.Fatal("fault line rendered with all counters zero")
+	}
+	w.NetRetransmits = 3
+	w.WorkerCrashes = 1
+	out := Summary("t", w)
+	if !strings.Contains(out, "faults:") ||
+		!strings.Contains(out, "retransmits 3") ||
+		!strings.Contains(out, "crashes 1") {
+		t.Fatalf("fault line missing or wrong:\n%s", out)
+	}
+}

@@ -106,6 +106,16 @@ type Snapshot struct {
 	NetRequests  uint64
 	NetCompleted uint64
 	NetBytes     uint64
+
+	// Resilience counters (all zero with fault injection off).
+	NetRetransmits  uint64
+	NetAborted      uint64
+	NetResets       uint64
+	FramesDropped   uint64
+	FramesCorrupted uint64
+	FramesDelayed   uint64
+	WorkerCrashes   uint64
+	WorkerRespawns  uint64
 }
 
 // Take captures all counters of sim.
@@ -151,6 +161,16 @@ func Take(sim *core.Simulator) Snapshot {
 		s.NetRequests = sim.Net.Requests
 		s.NetCompleted = sim.Net.Completed
 		s.NetBytes = sim.Net.BytesServed
+		s.NetRetransmits = sim.Net.Retransmits
+		s.NetAborted = sim.Net.Aborted
+		s.NetResets = sim.Net.Resets
+	}
+	s.WorkerCrashes = k.WorkerCrashes
+	s.WorkerRespawns = k.WorkerRespawns
+	if sim.Faults != nil {
+		s.FramesDropped = sim.Faults.DroppedToServer + sim.Faults.DroppedToClient
+		s.FramesCorrupted = sim.Faults.Corrupted
+		s.FramesDelayed = sim.Faults.Delayed
 	}
 	return s
 }
@@ -215,6 +235,14 @@ func Delta(a, b Snapshot) Snapshot {
 	d.NetRequests = b.NetRequests - a.NetRequests
 	d.NetCompleted = b.NetCompleted - a.NetCompleted
 	d.NetBytes = b.NetBytes - a.NetBytes
+	d.NetRetransmits = b.NetRetransmits - a.NetRetransmits
+	d.NetAborted = b.NetAborted - a.NetAborted
+	d.NetResets = b.NetResets - a.NetResets
+	d.FramesDropped = b.FramesDropped - a.FramesDropped
+	d.FramesCorrupted = b.FramesCorrupted - a.FramesCorrupted
+	d.FramesDelayed = b.FramesDelayed - a.FramesDelayed
+	d.WorkerCrashes = b.WorkerCrashes - a.WorkerCrashes
+	d.WorkerRespawns = b.WorkerRespawns - a.WorkerRespawns
 	return d
 }
 

@@ -41,6 +41,13 @@ func Summary(title string, w Snapshot) string {
 		fmt.Fprintf(&b, "web: requests %d  completed %d  bytes served %d\n",
 			w.NetRequests, w.NetCompleted, w.NetBytes)
 	}
+	if w.NetRetransmits+w.NetAborted+w.NetResets+w.FramesDropped+w.FramesCorrupted+
+		w.FramesDelayed+w.WorkerCrashes+w.WorkerRespawns > 0 {
+		fmt.Fprintf(&b, "faults: dropped %d  corrupted %d  delayed %d  retransmits %d  aborted %d  resets %d  crashes %d  respawns %d\n",
+			w.FramesDropped, w.FramesCorrupted, w.FramesDelayed,
+			w.NetRetransmits, w.NetAborted, w.NetResets,
+			w.WorkerCrashes, w.WorkerRespawns)
+	}
 	return b.String()
 }
 

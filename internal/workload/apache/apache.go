@@ -123,6 +123,9 @@ const (
 type Server struct {
 	cfg    Config
 	region *workload.Region
+	// nextSlot is the next process slot to hand out; slots beyond the
+	// pre-forked pool are used by Respawn.
+	nextSlot int
 	// RequestsHandled counts completed request loops across the pool.
 	RequestsHandled uint64
 }
@@ -153,7 +156,16 @@ func (s *Server) Programs() []*workload.ScriptProgram {
 	for i := 0; i < s.cfg.Processes; i++ {
 		out[i] = s.process(i + 1)
 	}
+	s.nextSlot = s.cfg.Processes
 	return out
+}
+
+// Respawn builds a replacement worker after a crash (fault injection): a
+// fresh fork with the shared text but its own slot, heap, and stack, so the
+// kernel assigns it a new pid and ASN.
+func (s *Server) Respawn() *workload.ScriptProgram {
+	s.nextSlot++
+	return s.process(s.nextSlot)
 }
 
 // process builds one server process: shared text, private data.
