@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race run experiments
+.PHONY: check build vet test race audit ckpt-smoke run experiments
 
 # check is the full verification gate: compile, vet, the whole test suite,
-# and a fast race pass (Quick-scale simulations skip under -short, so the
-# race leg stays cheap while still covering the fault-injection paths).
-check: build vet test race
+# a fast race pass (Quick-scale simulations skip under -short, so the race
+# leg stays cheap while still covering the fault-injection paths), an
+# audited simulation leg, and a checkpoint save/restore round trip.
+check: build vet test race audit ckpt-smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +15,24 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 30m ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 30m ./...
+
+# audit runs a web simulation with the invariant auditor on a tight period:
+# it exits nonzero on any cross-layer inconsistency (see CHECKPOINT.md).
+audit:
+	$(GO) run ./cmd/ossmt -workload apache -warmup 500000 -cycles 1000000 -audit 200000 > /dev/null
+
+# ckpt-smoke proves the checkpoint round trip end to end through the CLI:
+# save at the end of one run, resume from the file, audit the resumed state.
+ckpt-smoke:
+	$(GO) run ./cmd/ossmt -workload apache -warmup 300000 -cycles 500000 \
+		-checkpoint /tmp/ossmt-smoke.ckpt > /dev/null
+	$(GO) run ./cmd/ossmt -restore /tmp/ossmt-smoke.ckpt -warmup 0 -cycles 300000 \
+		-audit 150000 > /dev/null
+	rm -f /tmp/ossmt-smoke.ckpt
 
 # run is a small demo simulation.
 run:

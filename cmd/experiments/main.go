@@ -4,25 +4,32 @@
 //	experiments -run tab6       # one experiment
 //	experiments -quick          # reduced cycle budget (CI/laptop smoke)
 //	experiments -list           # available experiment ids
+//	experiments -quick -json -audit 300000    # machine-readable, audited
+//	experiments -timeout 5m     # per-experiment budget, retry from checkpoint
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run (empty = all)")
-		quick = flag.Bool("quick", false, "reduced cycle budget")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		seeds = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
-		list  = flag.Bool("list", false, "list experiment ids")
+		run     = flag.String("run", "", "experiment id to run (empty = all)")
+		quick   = flag.Bool("quick", false, "reduced cycle budget")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		seeds   = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
+		list    = flag.Bool("list", false, "list experiment ids")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON (implies supervised runs)")
+		timeout = flag.Duration("timeout", 0, "per-experiment wall-clock budget; on a trip the experiment retries once, resuming from checkpoints (0 = none)")
+		auditAt = flag.Uint64("audit", 0, "run the invariant auditor every N cycles during each experiment (0 = off)")
 	)
 	flag.Parse()
 
@@ -36,6 +43,18 @@ func main() {
 	if *quick {
 		sc = experiments.Quick
 	}
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = []string{*run}
+	}
+
+	// Supervision (timeout, audits) and JSON reporting share the
+	// supervised path; the plain paths below keep their exact output.
+	if *jsonOut || *timeout > 0 || *auditAt > 0 {
+		supervised(ids, sc, *seed, *seeds, *timeout, *auditAt, *jsonOut)
+		return
+	}
+
 	if *run == "" {
 		fmt.Print(experiments.RenderAll(sc, *seed))
 		return
@@ -50,6 +69,96 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s — %s\n\n%s\n", res.ID, res.Title, res.Text)
+}
+
+// jsonRecord is the machine-readable form of one experiment.
+type jsonRecord struct {
+	ID            string                `json:"id"`
+	Title         string                `json:"title"`
+	Status        string                `json:"status"` // "ok" or "partial"
+	Retried       bool                  `json:"retried"`
+	Error         string                `json:"error,omitempty"`
+	Seeds         []uint64              `json:"seeds"`
+	Values        map[string]float64    `json:"values"`
+	Spread        map[string][2]float64 `json:"spread,omitempty"` // [min,max] across seeds
+	Audits        uint64                `json:"audits"`
+	Checkpoints   uint64                `json:"checkpoints"`
+	FaultCrashes  uint64                `json:"faultCrashes"`
+	FramesDropped uint64                `json:"framesDropped"`
+}
+
+// supervised runs the ids under per-experiment supervision and renders
+// either JSON records or the human report.
+func supervised(ids []string, sc experiments.Scale, seed uint64, nSeeds int, timeout time.Duration, auditAt uint64, jsonOut bool) {
+	var records []jsonRecord
+	failed := false
+	for _, id := range ids {
+		rec := jsonRecord{ID: id, Status: "ok", Values: map[string]float64{}}
+		acc := map[string][]float64{}
+		var lastText string
+		for i := 0; i < nSeeds; i++ {
+			s := seed + uint64(i)
+			res, st, err := experiments.RunSupervised(id, sc, s, timeout, auditAt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rec.Title = res.Title
+			rec.Seeds = append(rec.Seeds, s)
+			rec.Audits += st.Audits
+			rec.Checkpoints += st.Checkpoints
+			rec.FaultCrashes += st.FaultCrashes
+			rec.FramesDropped += st.FramesDropped
+			rec.Retried = rec.Retried || st.Retried
+			if !st.OK {
+				rec.Status = "partial"
+				rec.Error = st.Error
+				failed = true
+			}
+			for k, v := range res.Values {
+				acc[k] = append(acc[k], v)
+			}
+			lastText = res.Text
+		}
+		for k, vs := range acc {
+			mean, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+			for _, v := range vs {
+				mean += v
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			rec.Values[k] = mean / float64(len(vs))
+			if len(vs) > 1 {
+				if rec.Spread == nil {
+					rec.Spread = map[string][2]float64{}
+				}
+				rec.Spread[k] = [2]float64{lo, hi}
+			}
+		}
+		if jsonOut {
+			records = append(records, rec)
+			continue
+		}
+		status := rec.Status
+		if rec.Retried {
+			status += " (retried)"
+		}
+		fmt.Printf("################ %s — %s [%s]\n\n%s\n", rec.ID, rec.Title, status, lastText)
+		if rec.Error != "" {
+			fmt.Printf("  partial result; last error: %s\n\n", rec.Error)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // multiSeed reruns one experiment across seeds and reports, for every key

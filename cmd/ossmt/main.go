@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/report"
@@ -49,6 +50,12 @@ func main() {
 		faultSeed = flag.Uint64("faultseed", 0, "fault-sampling seed (0 = derive from -seed)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
 		watchdog  = flag.Uint64("watchdog", 0, "livelock window in cycles (0 = default)")
+
+		// Checkpoint/restore and auditing (see CHECKPOINT.md).
+		ckptPath  = flag.String("checkpoint", "", "write a checkpoint here when the run finishes")
+		restore   = flag.String("restore", "", "resume from this checkpoint instead of a fresh boot")
+		ckptEvery = flag.Uint64("ckpt-every", 0, "also auto-checkpoint every N cycles (needs -checkpoint)")
+		auditAt   = flag.Uint64("audit", 0, "run the invariant auditor every N cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -82,10 +89,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	sim, err := core.New(*workload, opts)
+	var sim *core.Simulator
+	var err error
+	if *restore != "" {
+		// The checkpoint carries its own workload and options; the
+		// configuration flags above are ignored on resume.
+		sim, err = core.RestoreFile(*restore)
+		if err == nil {
+			*workload = sim.Workload
+			fmt.Fprintf(os.Stderr, "ossmt: resumed %s/%s at cycle %d from %s\n",
+				sim.Workload, sim.Opts.Processor, sim.Now(), *restore)
+		}
+	} else {
+		sim, err = core.New(*workload, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	sim.Sup = core.Supervision{
+		CheckpointEvery: *ckptEvery,
+		CheckpointPath:  *ckptPath,
+		AuditEvery:      *auditAt,
 	}
 
 	ctx := context.Background()
@@ -105,8 +130,20 @@ func main() {
 	after := report.Take(sim)
 	w := report.Delta(before, after)
 
+	if *ckptPath != "" {
+		if err := sim.WriteCheckpoint(*ckptPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ossmt: checkpoint written to %s (cycle %d)\n", *ckptPath, sim.Now())
+	}
+	if *auditAt > 0 {
+		if err := sim.Audit(); err != nil {
+			fail(err)
+		}
+	}
+
 	title := fmt.Sprintf("%s on %s (seed %d, warmup %d, measured %d cycles)",
-		*workload, opts.Processor, *seed, *warmup, *cycles)
+		*workload, sim.Opts.Processor, sim.Opts.Seed, *warmup, *cycles)
 	fmt.Print(report.Summary(title, w))
 	if *perProg {
 		fmt.Println()
@@ -114,13 +151,14 @@ func main() {
 	}
 }
 
-// fail prints a structured watchdog error (livelock, deadline, or recovered
-// panic — each already carries its diagnostic snapshot) and exits nonzero.
+// fail prints a structured error (watchdog trip, recovered panic, invariant
+// audit failure — each already carries its diagnostics) and exits nonzero.
 func fail(err error) {
 	var (
 		ll *faults.LivelockError
 		dl *faults.DeadlineError
 		pe *faults.PanicError
+		ae *audit.Error
 	)
 	switch {
 	case errors.As(err, &ll):
@@ -129,6 +167,8 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "ossmt: watchdog tripped (deadline)")
 	case errors.As(err, &pe):
 		fmt.Fprintln(os.Stderr, "ossmt: simulation panic (recovered)")
+	case errors.As(err, &ae):
+		fmt.Fprintln(os.Stderr, "ossmt: invariant audit failed")
 	}
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)

@@ -1,0 +1,260 @@
+// Package audit is the runtime invariant auditor: a registry of cross-layer
+// consistency checks over the live simulator (pipeline, kernel, memory,
+// TLBs). The checks catch state corruption — a leaked page table after
+// process exit, a stale TLB entry, a socket owned by a dead worker, a frame
+// both free and mapped, issue-queue bookkeeping drift — close to where it
+// happens rather than thousands of cycles later in a garbled report.
+//
+// Audits run on demand (Run), on every checkpoint (a snapshot is written
+// only if the audit is clean), and periodically when enabled in the
+// supervisor. All checks are read-only.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/tlb"
+)
+
+// Target is the simulator state the auditor inspects.
+type Target struct {
+	Engine *pipeline.Engine
+	Kernel *kernel.Kernel
+}
+
+// Finding is one invariant violation.
+type Finding struct {
+	// Check is the name of the violated check.
+	Check string
+	// Detail says what was inconsistent, with identifiers for diagnosis.
+	Detail string
+}
+
+func (f Finding) String() string { return f.Check + ": " + f.Detail }
+
+// Error carries all findings of a failed audit.
+type Error struct {
+	// Cycle is the simulation cycle at which the audit ran.
+	Cycle uint64
+	// Findings are the violations, in check-registry order.
+	Findings []Finding
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d invariant violation(s) at cycle %d", len(e.Findings), e.Cycle)
+	for _, f := range e.Findings {
+		b.WriteString("\n  ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// Check is one registered consistency check.
+type Check struct {
+	// Name identifies the check in findings and documentation.
+	Name string
+	// Run inspects the target and returns any violations.
+	Run func(t Target) []Finding
+}
+
+// Checks returns the full check registry.
+func Checks() []Check {
+	return []Check{
+		{Name: "page-ownership", Run: checkPageOwnership},
+		{Name: "frame-accounting", Run: checkFrameAccounting},
+		{Name: "tlb-consistency", Run: checkTLBConsistency},
+		{Name: "socket-ownership", Run: checkSocketOwnership},
+		{Name: "pipeline-queues", Run: checkPipelineQueues},
+	}
+}
+
+// Run executes every registered check and returns an *Error carrying all
+// findings, or nil if the state is consistent.
+func Run(t Target) error {
+	var all []Finding
+	for _, c := range Checks() {
+		all = append(all, c.Run(t)...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return &Error{Cycle: t.Engine.Now(), Findings: all}
+}
+
+// checkPageOwnership verifies every populated page table belongs to the
+// kernel or to a live process: once an exited process's teardown has
+// retired (Released), its address space must be gone. An exited thread
+// whose exit path is still draining through the pipeline legitimately
+// owns its pages until the teardown instruction retires.
+func checkPageOwnership(t Target) []Finding {
+	live := map[uint64]bool{mem.KernelPID: true}
+	for _, ti := range t.Kernel.ThreadInfos() {
+		if ti.Kind == "user" && !(ti.Exited && ti.Released) {
+			live[ti.PID] = true
+		}
+	}
+	pages := map[uint64]int{}
+	for _, pte := range t.Kernel.Mem.AllMappings() {
+		pages[pte.PID]++
+	}
+	var out []Finding
+	for _, pid := range t.Kernel.Mem.TablePIDs() {
+		if !live[pid] {
+			out = append(out, Finding{
+				Check:  "page-ownership",
+				Detail: fmt.Sprintf("pid %d is not a live process but owns %d mapped page(s)", pid, pages[pid]),
+			})
+		}
+	}
+	return out
+}
+
+// checkFrameAccounting verifies physical-frame bookkeeping: no frame mapped
+// twice, no frame both free and mapped, no frame outside physical memory,
+// no duplicate free-list entries.
+func checkFrameAccounting(t Target) []Finding {
+	m := t.Kernel.Mem
+	var out []Finding
+	mapped := map[uint64]mem.PTE{}
+	for _, pte := range m.AllMappings() {
+		if pte.PFN >= m.Frames() {
+			out = append(out, Finding{
+				Check:  "frame-accounting",
+				Detail: fmt.Sprintf("pid %d vpn %#x maps frame %d beyond physical memory (%d frames)", pte.PID, pte.VPN, pte.PFN, m.Frames()),
+			})
+		}
+		if prev, dup := mapped[pte.PFN]; dup {
+			out = append(out, Finding{
+				Check:  "frame-accounting",
+				Detail: fmt.Sprintf("frame %d mapped twice: pid %d vpn %#x and pid %d vpn %#x", pte.PFN, prev.PID, prev.VPN, pte.PID, pte.VPN),
+			})
+		}
+		mapped[pte.PFN] = pte
+	}
+	free := m.FreeFrames()
+	seen := map[uint64]bool{}
+	for _, pfn := range free {
+		if seen[pfn] {
+			out = append(out, Finding{
+				Check:  "frame-accounting",
+				Detail: fmt.Sprintf("frame %d appears twice on the free list", pfn),
+			})
+		}
+		seen[pfn] = true
+		if pte, ok := mapped[pfn]; ok {
+			out = append(out, Finding{
+				Check:  "frame-accounting",
+				Detail: fmt.Sprintf("frame %d is on the free list but mapped by pid %d vpn %#x", pfn, pte.PID, pte.VPN),
+			})
+		}
+	}
+	return out
+}
+
+// checkTLBConsistency verifies every valid TLB entry against the page
+// tables and the ASN generation: the entry's ASN must belong to the kernel
+// or a live thread, and that owner's page table must map the entry's page
+// to the entry's frame.
+func checkTLBConsistency(t Target) []Finding {
+	// ASN -> live owning PIDs. ASNs recycle, so an ASN can briefly have
+	// several live owners; the entry is consistent if any of them matches.
+	// A thread whose exit teardown has not retired yet still owns its ASN
+	// (the invalidation happens at teardown retirement).
+	owners := map[uint16][]uint64{}
+	for _, ti := range t.Kernel.ThreadInfos() {
+		if !(ti.Exited && ti.Released) {
+			owners[ti.ASN] = append(owners[ti.ASN], ti.PID)
+		}
+	}
+	var out []Finding
+	for _, pair := range []struct {
+		name string
+		t    *tlb.TLB
+	}{{"ITLB", t.Engine.ITLB}, {"DTLB", t.Engine.DTLB}} {
+		for _, e := range pair.t.LiveEntries() {
+			pids := owners[e.ASN]
+			if e.ASN == tlb.GlobalASN {
+				pids = []uint64{mem.KernelPID}
+			}
+			if len(pids) == 0 {
+				out = append(out, Finding{
+					Check:  "tlb-consistency",
+					Detail: fmt.Sprintf("%s entry asn %d vpn %#x: no live thread owns this ASN (stale after exit/recycle)", pair.name, e.ASN, e.VPN),
+				})
+				continue
+			}
+			sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+			ok := false
+			for _, pid := range pids {
+				if pfn, mapped := t.Kernel.Mem.Peek(pid, e.Addr); mapped && pfn == e.PFN {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				out = append(out, Finding{
+					Check:  "tlb-consistency",
+					Detail: fmt.Sprintf("%s entry asn %d vpn %#x -> pfn %d disagrees with the page tables of pid(s) %v", pair.name, e.ASN, e.VPN, e.PFN, pids),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkSocketOwnership verifies no open socket is owned by a dead thread:
+// the crash path must reap a dead worker's descriptors.
+func checkSocketOwnership(t Target) []Finding {
+	exited := map[uint32]bool{}
+	known := map[uint32]bool{}
+	for _, ti := range t.Kernel.ThreadInfos() {
+		known[ti.TID] = true
+		if ti.Exited {
+			exited[ti.TID] = true
+		}
+	}
+	var out []Finding
+	for _, s := range t.Kernel.SocketInfos() {
+		if s.Closed || s.Owner == 0 {
+			continue
+		}
+		switch {
+		case !known[s.Owner]:
+			out = append(out, Finding{
+				Check:  "socket-ownership",
+				Detail: fmt.Sprintf("socket %d (conn %d) owned by unknown thread %d", s.ID, s.Conn, s.Owner),
+			})
+		case exited[s.Owner]:
+			out = append(out, Finding{
+				Check:  "socket-ownership",
+				Detail: fmt.Sprintf("socket %d (conn %d) still owned by exited thread %d", s.ID, s.Conn, s.Owner),
+			})
+		}
+	}
+	return out
+}
+
+// checkPipelineQueues verifies pipeline bookkeeping: issue-queue occupancy
+// against ROB contents, and the engine's own structural invariants
+// (renaming-register accounting, ROB sequence continuity).
+func checkPipelineQueues(t Target) (out []Finding) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = append(out, Finding{
+				Check:  "pipeline-queues",
+				Detail: fmt.Sprintf("engine invariant violated: %v", r),
+			})
+		}
+	}()
+	for _, d := range t.Engine.CheckQueueConsistency() {
+		out = append(out, Finding{Check: "pipeline-queues", Detail: d})
+	}
+	t.Engine.CheckInvariants()
+	return out
+}

@@ -1,0 +1,85 @@
+// Checkpoint serialization for the branch predictor.
+package bpred
+
+import "repro/internal/conflict"
+
+// BTBSnap is the serialized form of one BTB entry.
+type BTBSnap struct {
+	Valid   bool
+	Tag     uint64
+	Target  uint64
+	LastUse uint64
+	Filler  conflict.Agent
+	IsRet   bool
+}
+
+// Snapshot captures all mutable predictor state.
+type Snapshot struct {
+	LocalPHT    [localPHTSize]uint8
+	LocalHist   [localHistSize]uint16
+	Global      [globalSize]uint8
+	Selector    [globalSize]uint8
+	GHR         []uint32
+	RAS         [][]uint64
+	BTB         []BTBSnap
+	Tick        uint64
+	Tracker     []conflict.TrackerEntry
+	Lookups     [2]uint64
+	Mispredicts [2]uint64
+	BTBLookups  [2]uint64
+	BTBMisses   [2]uint64
+	BTBCauses   conflict.Matrix
+}
+
+// Snapshot returns the predictor's complete mutable state.
+func (p *Predictor) Snapshot() Snapshot {
+	s := Snapshot{
+		LocalPHT:    p.localPHT,
+		LocalHist:   p.localHist,
+		Global:      p.global,
+		Selector:    p.selector,
+		GHR:         append([]uint32(nil), p.ghr...),
+		RAS:         make([][]uint64, len(p.ras)),
+		BTB:         make([]BTBSnap, len(p.btb)),
+		Tick:        p.tick,
+		Tracker:     p.btbTracker.Snapshot(),
+		Lookups:     p.Lookups,
+		Mispredicts: p.Mispredicts,
+		BTBLookups:  p.BTBLookups,
+		BTBMisses:   p.BTBMisses,
+		BTBCauses:   p.BTBCauses,
+	}
+	for i, r := range p.ras {
+		s.RAS[i] = append([]uint64(nil), r...)
+	}
+	for i, e := range p.btb {
+		s.BTB[i] = BTBSnap{Valid: e.valid, Tag: e.tag, Target: e.target, LastUse: e.lastUse, Filler: e.filler, IsRet: e.isRet}
+	}
+	return s
+}
+
+// Restore overwrites the predictor's state from a snapshot taken on a
+// predictor with the same context count.
+func (p *Predictor) Restore(s Snapshot) {
+	if len(s.GHR) != len(p.ghr) || len(s.BTB) != len(p.btb) {
+		panic("bpred: snapshot geometry mismatch")
+	}
+	p.localPHT = s.LocalPHT
+	p.localHist = s.LocalHist
+	p.global = s.Global
+	p.selector = s.Selector
+	copy(p.ghr, s.GHR)
+	for i, r := range s.RAS {
+		p.ras[i] = append(p.ras[i][:0], r...)
+	}
+	for i, e := range s.BTB {
+		p.btb[i] = btbEntry{valid: e.Valid, tag: e.Tag, target: e.Target, lastUse: e.LastUse, filler: e.Filler, isRet: e.IsRet}
+	}
+	p.tick = s.Tick
+	p.btbTracker.Restore(s.Tracker)
+	p.Lookups = s.Lookups
+	p.Mispredicts = s.Mispredicts
+	p.BTBLookups = s.BTBLookups
+	p.BTBMisses = s.BTBMisses
+	p.BTBCauses = s.BTBCauses
+}

@@ -1,0 +1,172 @@
+// Checkpoint serialization for the cache hierarchy: per-cache tag state,
+// MSHR occupancy, bus cursors, and the store buffer.
+package cache
+
+import (
+	"sort"
+
+	"repro/internal/conflict"
+)
+
+// LineSnap is the serialized form of one cache line.
+type LineSnap struct {
+	Valid   bool
+	Tag     uint64
+	LastUse uint64
+	Filler  conflict.Agent
+	Touched uint64
+	Dirty   bool
+}
+
+// CacheSnap captures one cache's mutable state.
+type CacheSnap struct {
+	Lines         []LineSnap
+	Tick          uint64
+	Tracker       []conflict.TrackerEntry
+	Accesses      [2]uint64
+	Misses        [2]uint64
+	Causes        conflict.Matrix
+	Shared        conflict.Sharing
+	Invalidations uint64
+	Writebacks    uint64
+}
+
+// Snapshot returns the cache's complete mutable state.
+func (c *Cache) Snapshot() CacheSnap {
+	s := CacheSnap{
+		Lines:         make([]LineSnap, len(c.lines)),
+		Tick:          c.tick,
+		Tracker:       c.tracker.Snapshot(),
+		Accesses:      c.Accesses,
+		Misses:        c.Misses,
+		Causes:        c.Causes,
+		Shared:        c.Shared,
+		Invalidations: c.Invalidations,
+		Writebacks:    c.Writebacks,
+	}
+	for i, l := range c.lines {
+		s.Lines[i] = LineSnap{
+			Valid: l.valid, Tag: l.tag, LastUse: l.lastUse,
+			Filler: l.filler, Touched: l.touched, Dirty: l.dirty,
+		}
+	}
+	return s
+}
+
+// Restore overwrites the cache's state from a snapshot taken on a cache with
+// the same geometry.
+func (c *Cache) Restore(s CacheSnap) {
+	if len(s.Lines) != len(c.lines) {
+		panic("cache: snapshot geometry mismatch")
+	}
+	for i, l := range s.Lines {
+		c.lines[i] = line{
+			valid: l.Valid, tag: l.Tag, lastUse: l.LastUse,
+			filler: l.Filler, touched: l.Touched, dirty: l.Dirty,
+		}
+	}
+	c.tick = s.Tick
+	c.tracker.Restore(s.Tracker)
+	c.Accesses = s.Accesses
+	c.Misses = s.Misses
+	c.Causes = s.Causes
+	c.Shared = s.Shared
+	c.Invalidations = s.Invalidations
+	c.Writebacks = s.Writebacks
+}
+
+// MSHRFill is one in-flight fill (serialized sorted by line address).
+type MSHRFill struct {
+	Line  uint64
+	Ready uint64
+}
+
+// MSHRSnap captures one MSHR table.
+type MSHRSnap struct {
+	Inflight    []MSHRFill
+	FullStalls  uint64
+	LatencyArea uint64
+	Fills       uint64
+}
+
+func (m *mshr) snapshot() MSHRSnap {
+	s := MSHRSnap{
+		Inflight:    make([]MSHRFill, 0, len(m.inflight)),
+		FullStalls:  m.FullStalls,
+		LatencyArea: m.latencyArea,
+		Fills:       m.fills,
+	}
+	for la, ready := range m.inflight {
+		s.Inflight = append(s.Inflight, MSHRFill{Line: la, Ready: ready})
+	}
+	sort.Slice(s.Inflight, func(i, j int) bool { return s.Inflight[i].Line < s.Inflight[j].Line })
+	return s
+}
+
+func (m *mshr) restore(s MSHRSnap) {
+	m.inflight = make(map[uint64]uint64, len(s.Inflight))
+	for _, f := range s.Inflight {
+		m.inflight[f.Line] = f.Ready
+	}
+	m.FullStalls = s.FullStalls
+	m.latencyArea = s.LatencyArea
+	m.fills = s.Fills
+}
+
+// HierSnap captures the hierarchy's complete mutable state.
+type HierSnap struct {
+	L1I, L1D, L2         CacheSnap
+	MSHRI, MSHRD, MSHRL2 MSHRSnap
+	L2NextFree           uint64
+	MemNextFree          uint64
+	BusTransactions      uint64
+}
+
+// Snapshot returns the hierarchy's mutable state (configuration excluded).
+func (h *Hierarchy) Snapshot() HierSnap {
+	return HierSnap{
+		L1I: h.L1I.Snapshot(), L1D: h.L1D.Snapshot(), L2: h.L2.Snapshot(),
+		MSHRI: h.mshrI.snapshot(), MSHRD: h.mshrD.snapshot(), MSHRL2: h.mshrL2.snapshot(),
+		L2NextFree: h.l2NextFree, MemNextFree: h.memNextFree,
+		BusTransactions: h.BusTransactions,
+	}
+}
+
+// Restore overwrites the hierarchy's state from a snapshot.
+func (h *Hierarchy) Restore(s HierSnap) {
+	h.L1I.Restore(s.L1I)
+	h.L1D.Restore(s.L1D)
+	h.L2.Restore(s.L2)
+	h.mshrI.restore(s.MSHRI)
+	h.mshrD.restore(s.MSHRD)
+	h.mshrL2.restore(s.MSHRL2)
+	h.l2NextFree = s.L2NextFree
+	h.memNextFree = s.MemNextFree
+	h.BusTransactions = s.BusTransactions
+}
+
+// SBSnap captures the store buffer.
+type SBSnap struct {
+	Entries    []uint64
+	FullStalls uint64
+	Pushed     uint64
+	Drained    uint64
+}
+
+// Snapshot returns the store buffer's state.
+func (s *StoreBuffer) Snapshot() SBSnap {
+	return SBSnap{
+		Entries:    append([]uint64(nil), s.entries...),
+		FullStalls: s.FullStalls,
+		Pushed:     s.Pushed,
+		Drained:    s.Drained,
+	}
+}
+
+// Restore overwrites the store buffer's state.
+func (s *StoreBuffer) Restore(snap SBSnap) {
+	s.entries = append(s.entries[:0], snap.Entries...)
+	s.FullStalls = snap.FullStalls
+	s.Pushed = snap.Pushed
+	s.Drained = snap.Drained
+}

@@ -1,0 +1,30 @@
+package conflict
+
+import "sort"
+
+// TrackerEntry is the serialized form of one tracked key (checkpointing).
+type TrackerEntry struct {
+	Key         uint64
+	TID         uint32
+	Priv        bool
+	Invalidated bool
+}
+
+// Snapshot returns the tracker's contents as a key-sorted slice, so that the
+// serialized form of a deterministic run is itself deterministic.
+func (t *Tracker) Snapshot() []TrackerEntry {
+	out := make([]TrackerEntry, 0, len(t.seen))
+	for k, ev := range t.seen {
+		out = append(out, TrackerEntry{Key: k, TID: ev.tid, Priv: ev.priv, Invalidated: ev.invalidated})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the tracker's contents with a snapshot.
+func (t *Tracker) Restore(entries []TrackerEntry) {
+	t.seen = make(map[uint64]evictor, len(entries))
+	for _, e := range entries {
+		t.seen[e.Key] = evictor{tid: e.TID, priv: e.Priv, invalidated: e.Invalidated}
+	}
+}

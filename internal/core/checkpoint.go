@@ -1,0 +1,196 @@
+// Crash-consistent checkpoint/restore for the whole simulator. A checkpoint
+// is a versioned checkpoint.Image with one section per layer:
+//
+//	meta    workload name, Options, cycle
+//	engine  pipeline.Snapshot (ROBs, event heap, caches, TLBs, predictor)
+//	kernel  kernel.Snapshot (threads, feeds, generator stacks, sockets, mem)
+//	net     netsim.Snapshot (client fleet; apache workloads only)
+//	server  apache.ServerSnap (pool cursor; apache workloads only)
+//	faults  faults.Snapshot (injector RNGs and counters; when enabled)
+//
+// The golden guarantee: save at cycle N, restore into a fresh process, run M
+// more cycles — the result is bit-identical to running N+M straight through.
+// Restore rebuilds the static machine from the serialized Options (the
+// structure is a deterministic function of them) and then overwrites every
+// piece of mutable state.
+//
+// WriteCheckpoint runs the invariant auditor first and refuses to persist an
+// inconsistent state, so a checkpoint on disk is always a safe resume point.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/checkpoint"
+	"repro/internal/faults"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+	"repro/internal/workload/apache"
+	"repro/internal/workload/specint"
+)
+
+// Meta is the checkpoint's identity section: everything needed to rebuild
+// the static machine before the state sections are applied.
+type Meta struct {
+	// Workload names the workload ("apache", "specint").
+	Workload string
+	// Opts is the full configuration of the checkpointed run.
+	Opts Options
+	// Cycle is the simulation cycle at which the checkpoint was taken.
+	Cycle uint64
+}
+
+// Audit runs the full invariant-check registry against the live simulator,
+// returning nil or an *audit.Error listing every violation.
+func (s *Simulator) Audit() error {
+	return audit.Run(audit.Target{Engine: s.Engine, Kernel: s.Kernel})
+}
+
+// Checkpoint captures the simulator's complete state as an image.
+func (s *Simulator) Checkpoint() (*checkpoint.Image, error) {
+	img := checkpoint.NewImage()
+	put := func(name string, v any) error {
+		if err := img.Put(name, v); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+		return nil
+	}
+	meta := Meta{Workload: s.Workload, Opts: s.Opts, Cycle: s.Now()}
+	if err := put("meta", meta); err != nil {
+		return nil, err
+	}
+	if err := put("engine", s.Engine.Snapshot()); err != nil {
+		return nil, err
+	}
+	if err := put("kernel", s.Kernel.Snapshot()); err != nil {
+		return nil, err
+	}
+	if s.Net != nil {
+		if err := put("net", s.Net.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	if s.Server != nil {
+		if err := put("server", s.Server.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	if s.Faults != nil {
+		if err := put("faults", s.Faults.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return img, nil
+}
+
+// WriteCheckpoint audits the simulator and, only if the state is consistent,
+// writes a checkpoint atomically to path. An audit failure is returned as an
+// *audit.Error and nothing is written.
+func (s *Simulator) WriteCheckpoint(path string) error {
+	if err := s.Audit(); err != nil {
+		return fmt.Errorf("core: refusing to checkpoint inconsistent state: %w", err)
+	}
+	img, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFile(path, img)
+}
+
+// progFactory builds the workload-specific program reconstructor used when
+// restoring thread state: given a program name and slot, it returns a fresh
+// ScriptProgram whose walker and state the kernel then overwrites.
+func (s *Simulator) progFactory() kernel.ProgFactory {
+	return func(name string, slot int) *workload.ScriptProgram {
+		if s.Server != nil && name == "apache" {
+			return s.Server.ProcessFor(slot)
+		}
+		for _, spec := range specint.Suite() {
+			if spec.Name == name {
+				return specint.New(spec, slot, s.Opts.Seed+101)
+			}
+		}
+		return nil
+	}
+}
+
+// RestoreInto overwrites this simulator's state from a checkpoint image. The
+// image must come from a simulator with the same workload and options (the
+// static structure must match; Restore handles the general case).
+func (s *Simulator) RestoreInto(img *checkpoint.Image) error {
+	var meta Meta
+	if err := img.Get("meta", &meta); err != nil {
+		return err
+	}
+	if meta.Workload != s.Workload {
+		return fmt.Errorf("core: checkpoint is for workload %q, simulator runs %q", meta.Workload, s.Workload)
+	}
+	var es pipeline.Snapshot
+	if err := img.Get("engine", &es); err != nil {
+		return err
+	}
+	var ks kernel.Snapshot
+	if err := img.Get("kernel", &ks); err != nil {
+		return err
+	}
+	if err := s.Engine.Restore(es); err != nil {
+		return fmt.Errorf("core: restoring engine: %w", err)
+	}
+	progs, err := s.Kernel.RestoreState(ks, s.progFactory())
+	if err != nil {
+		return fmt.Errorf("core: restoring kernel: %w", err)
+	}
+	s.Programs = progs
+	if s.Net != nil {
+		var ns netsim.Snapshot
+		if err := img.Get("net", &ns); err != nil {
+			return err
+		}
+		s.Net.Restore(ns)
+	}
+	if s.Server != nil {
+		var ss apache.ServerSnap
+		if err := img.Get("server", &ss); err != nil {
+			return err
+		}
+		s.Server.Restore(ss)
+	}
+	if s.Faults != nil {
+		var fs faults.Snapshot
+		if err := img.Get("faults", &fs); err != nil {
+			return err
+		}
+		s.Faults.Restore(fs)
+	}
+	return nil
+}
+
+// Restore builds a fresh simulator from a checkpoint image: the machine is
+// reassembled from the serialized options, then every layer's state is
+// overwritten from the image.
+func Restore(img *checkpoint.Image) (*Simulator, error) {
+	var meta Meta
+	if err := img.Get("meta", &meta); err != nil {
+		return nil, err
+	}
+	sim, err := New(meta.Workload, meta.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding from checkpoint: %w", err)
+	}
+	if err := sim.RestoreInto(img); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// RestoreFile reads, verifies, and restores a checkpoint file.
+func RestoreFile(path string) (*Simulator, error) {
+	img, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(img)
+}

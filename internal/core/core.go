@@ -87,11 +87,21 @@ type Options struct {
 	Faults faults.Config
 }
 
+// MaxContexts is the hardware context ceiling: the paper's SMT has 8
+// contexts, and the fetch/retire datapaths are sized for that.
+const MaxContexts = 8
+
 // Validate rejects nonsensical option values. The New* constructors call it
 // and panic on error; use New for the error-returning path.
 func (o Options) Validate() error {
 	if o.Contexts < 0 {
 		return fmt.Errorf("core: negative Contexts %d", o.Contexts)
+	}
+	if o.Contexts > MaxContexts {
+		return fmt.Errorf("core: Contexts %d exceeds the hardware maximum %d", o.Contexts, MaxContexts)
+	}
+	if d := uint64(pipelineConfig(o).Depth); o.CyclesPer10ms > 0 && o.CyclesPer10ms < d {
+		return fmt.Errorf("core: CyclesPer10ms %d shorter than the %d-stage pipeline (an interrupt would fire before one instruction can retire)", o.CyclesPer10ms, d)
 	}
 	if o.FetchContexts < 0 {
 		return fmt.Errorf("core: negative FetchContexts %d", o.FetchContexts)
@@ -130,6 +140,9 @@ type Simulator struct {
 	Faults *faults.Injector
 	// Opts is the configuration the simulator was built with.
 	Opts Options
+	// Sup configures periodic audits and auto-checkpoints under RunChecked
+	// (zero value = both off).
+	Sup Supervision
 }
 
 // pipelineConfig builds the pipeline configuration from options.

@@ -6,12 +6,39 @@ import (
 	"runtime/debug"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/faults"
 )
 
 // watchdogChunk is the stepping granularity of RunChecked: the watchdog
 // inspects retirement progress and the context deadline every chunk.
 const watchdogChunk = 20_000
+
+// Supervision configures the optional runtime safety net around RunChecked:
+// periodic invariant audits and periodic auto-checkpoints. The zero value
+// disables both.
+type Supervision struct {
+	// CheckpointEvery writes an auto-checkpoint to CheckpointPath roughly
+	// every this many cycles (0 = off). Each write is audit-gated: an
+	// inconsistent state is never persisted.
+	CheckpointEvery uint64
+	// CheckpointPath is where auto-checkpoints go. On a watchdog trip
+	// (livelock or deadline) a best-effort diagnostic checkpoint is written
+	// to CheckpointPath + ".trip" — never to CheckpointPath itself, so a
+	// retry always resumes from the last known-good state.
+	CheckpointPath string
+	// AuditEvery runs the invariant auditor roughly every this many cycles
+	// (0 = off). A violation stops the run with an *audit.Error.
+	AuditEvery uint64
+
+	// Checkpoints counts auto-checkpoints written.
+	Checkpoints uint64
+	// Audits counts periodic audits that ran clean.
+	Audits uint64
+
+	lastCkpt  uint64
+	lastAudit uint64
+}
 
 // RunChecked advances the simulation by n cycles under the simulation
 // guardrails: it converts engine invariant panics into *faults.PanicError,
@@ -40,6 +67,7 @@ func (s *Simulator) RunChecked(ctx context.Context, n uint64) (err error) {
 
 	for done := uint64(0); done < n; {
 		if cerr := ctx.Err(); cerr != nil {
+			s.tripCheckpoint()
 			return &faults.DeadlineError{Cycle: s.Engine.Now(), Cause: cerr, Diag: s.Diagnostics()}
 		}
 		chunk := uint64(watchdogChunk)
@@ -53,10 +81,52 @@ func (s *Simulator) RunChecked(ctx context.Context, n uint64) (err error) {
 			lastRetired = r
 			lastProgress = s.Engine.Now()
 		} else if s.Engine.Now()-lastProgress >= window {
+			s.tripCheckpoint()
 			return &faults.LivelockError{Cycle: s.Engine.Now(), Window: window, Diag: s.Diagnostics()}
+		}
+
+		if err := s.supervise(); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// supervise runs the periodic audit and auto-checkpoint duties configured in
+// s.Sup. Called between watchdog chunks, so periods are rounded up to the
+// chunk granularity.
+func (s *Simulator) supervise() error {
+	now := s.Engine.Now()
+	if s.Sup.AuditEvery > 0 && now-s.Sup.lastAudit >= s.Sup.AuditEvery {
+		s.Sup.lastAudit = now
+		if err := s.Audit(); err != nil {
+			return err
+		}
+		s.Sup.Audits++
+	}
+	if s.Sup.CheckpointEvery > 0 && s.Sup.CheckpointPath != "" && now-s.Sup.lastCkpt >= s.Sup.CheckpointEvery {
+		s.Sup.lastCkpt = now
+		if err := s.WriteCheckpoint(s.Sup.CheckpointPath); err != nil {
+			return err
+		}
+		s.Sup.Checkpoints++
+	}
+	return nil
+}
+
+// tripCheckpoint writes a best-effort diagnostic checkpoint of the tripped
+// state next to the auto-checkpoint path (suffix ".trip"). It deliberately
+// skips the audit gate — the state may well be inconsistent, that is the
+// point — and never overwrites the last good auto-checkpoint. Failures are
+// swallowed: the structured watchdog error is the primary artifact.
+func (s *Simulator) tripCheckpoint() {
+	if s.Sup.CheckpointPath == "" {
+		return
+	}
+	defer func() { recover() }()
+	if img, err := s.Checkpoint(); err == nil {
+		_ = checkpoint.WriteFile(s.Sup.CheckpointPath+".trip", img)
+	}
 }
 
 // diagBestEffort snapshots diagnostics while tolerating a second panic (the

@@ -79,12 +79,23 @@ func Run(id string, sc Scale, seed uint64) (Result, error) {
 
 // --------------------------------------------------------------- helpers
 
+// advance moves a simulation forward by n cycles. Under RunSupervised it
+// routes through the supervisor (deadline, periodic audits, checkpoint
+// memoization); otherwise it is a plain Run.
+func advance(sim *core.Simulator, n uint64) {
+	if sup != nil {
+		sup.step(sim, n)
+		return
+	}
+	sim.Run(n)
+}
+
 // window runs warmup, then measures for sc.Measure cycles and returns the
 // delta snapshot of the measured window.
 func window(sim *core.Simulator, sc Scale) report.Snapshot {
-	sim.Run(sc.Warmup)
+	advance(sim, sc.Warmup)
 	a := report.Take(sim)
-	sim.Run(sc.Measure)
+	advance(sim, sc.Measure)
 	b := report.Take(sim)
 	return report.Delta(a, b)
 }
@@ -93,9 +104,9 @@ func window(sim *core.Simulator, sc Scale) report.Snapshot {
 // (the first sc.Warmup cycles) and the steady window (the next sc.Measure).
 func phases(sim *core.Simulator, sc Scale) (startup, steady report.Snapshot) {
 	zero := report.Take(sim)
-	sim.Run(sc.Warmup)
+	advance(sim, sc.Warmup)
 	a := report.Take(sim)
-	sim.Run(sc.Measure)
+	advance(sim, sc.Measure)
 	b := report.Take(sim)
 	return report.Delta(zero, a), report.Delta(a, b)
 }

@@ -30,7 +30,7 @@ func fig1(sc Scale, seed uint64) Result {
 	prev := report.Take(sim)
 	var lastKernel, startKernel float64
 	for i := 1; i <= steps; i++ {
-		sim.Run(total / uint64(steps))
+		advance(sim, total/uint64(steps))
 		cur := report.Take(sim)
 		w := report.Delta(prev, cur)
 		prev = cur

@@ -1,0 +1,38 @@
+// Checkpoint serialization for the fault injector: both RNG streams and the
+// injection counters, so a restored run replays the same fault schedule.
+package faults
+
+// Snapshot captures the injector's mutable state.
+type Snapshot struct {
+	NetRNG          [4]uint64
+	ProcRNG         [4]uint64
+	DroppedToServer uint64
+	DroppedToClient uint64
+	Corrupted       uint64
+	Delayed         uint64
+	Crashes         uint64
+}
+
+// Snapshot returns the injector's mutable state.
+func (i *Injector) Snapshot() Snapshot {
+	return Snapshot{
+		NetRNG:          i.netRng.State(),
+		ProcRNG:         i.procRng.State(),
+		DroppedToServer: i.DroppedToServer,
+		DroppedToClient: i.DroppedToClient,
+		Corrupted:       i.Corrupted,
+		Delayed:         i.Delayed,
+		Crashes:         i.Crashes,
+	}
+}
+
+// Restore overwrites the injector's state from a snapshot.
+func (i *Injector) Restore(s Snapshot) {
+	i.netRng.SetState(s.NetRNG)
+	i.procRng.SetState(s.ProcRNG)
+	i.DroppedToServer = s.DroppedToServer
+	i.DroppedToClient = s.DroppedToClient
+	i.Corrupted = s.Corrupted
+	i.Delayed = s.Delayed
+	i.Crashes = s.Crashes
+}

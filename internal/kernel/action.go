@@ -1,0 +1,106 @@
+package kernel
+
+import "repro/internal/sys"
+
+// actionKind enumerates the completion actions a generation-stack entry can
+// carry. Actions used to be closures; they are plain data so that a
+// checkpoint can serialize a context's generation stack mid-flight and a
+// restored kernel replays exactly the same completion behavior.
+type actionKind uint8
+
+const (
+	// actNone does nothing (entries with no completion behavior).
+	actNone actionKind = iota
+	// actSwitchTo installs thread TID on the context after scheduler code
+	// drains (completing a context switch).
+	actSwitchTo
+	// actSyscallPause records the pending request and pauses generation
+	// until the syscall PALCall retires (or resolves the retire race).
+	actSyscallPause
+	// actSvcDone runs when a service body drains: release the resource
+	// lock, apply the syscall effect, then block or push the return path.
+	actSvcDone
+	// actSvcResult reports a completed syscall's result to the program.
+	actSvcResult
+	// actClearCur detaches the current thread from the context (exit paths).
+	actClearCur
+	// actNetisrDone releases the network lock and delivers the processed
+	// frame batch to sockets.
+	actNetisrDone
+)
+
+// action is a serialized completion behavior: the kind plus the operands the
+// kinds need (threads are referenced by TID, never by pointer).
+type action struct {
+	Kind  actionKind
+	TID   uint32
+	Req   sys.Request
+	Res   int
+	Batch []Frame
+}
+
+// threadByTID resolves a thread id (0 resolves to nil).
+func (k *Kernel) threadByTID(tid uint32) *Thread {
+	if tid == 0 {
+		return nil
+	}
+	for _, t := range k.threads {
+		if t.tid == tid {
+			return t
+		}
+	}
+	return nil
+}
+
+// runAction executes a completion action on behalf of context ctx. It is the
+// single dispatcher for everything that used to live in per-entry closures.
+func (k *Kernel) runAction(ctx int, a action) {
+	f := &k.feeds[ctx]
+	switch a.Kind {
+	case actNone:
+	case actSwitchTo:
+		next := k.threadByTID(a.TID)
+		if next == nil {
+			panic("kernel: actSwitchTo on unknown thread")
+		}
+		f.cur = next
+		next.sinceSched = 0
+		if next.wakeReq != nil {
+			k.resumeBlockedSyscall(ctx, next)
+		}
+	case actSyscallPause:
+		f.pendingReq = a.Req
+		if f.syscallRetired {
+			f.syscallRetired = false
+			k.enterSyscall(ctx)
+		} else {
+			f.paused = true
+		}
+	case actSvcDone:
+		t := k.threadByTID(a.TID)
+		if t == nil {
+			panic("kernel: actSvcDone on unknown thread")
+		}
+		k.unlock(a.Req.Resource, t.tid)
+		res, block := k.syscallEffect(t, a.Req)
+		if block {
+			t.wakeReq = &sys.Request{}
+			*t.wakeReq = a.Req
+			t.state = tsBlocked
+			f.cur = nil
+			return
+		}
+		k.pushSvcReturn(ctx, t, a.Req, res)
+	case actSvcResult:
+		t := k.threadByTID(a.TID)
+		if t == nil {
+			panic("kernel: actSvcResult on unknown thread")
+		}
+		t.prog.OnSyscallResult(a.Req, a.Res)
+	case actClearCur:
+		f.cur = nil
+	case actNetisrDone:
+		k.unlock(sys.ResNet, a.TID)
+		k.deliverFrames(a.Batch)
+	}
+}

@@ -88,6 +88,9 @@ func (rw *regionWalker) limit(ctx, n int) workload.Generator {
 // codebase holds every kernel and PAL code region.
 type codebase struct {
 	all []*workload.Region // every region, for prewarming
+	// byName indexes every regionWalker by its (unique) region name, for
+	// checkpoint serialization of walker state and stack-entry descriptors.
+	byName map[string]*regionWalker
 
 	palDTLB *regionWalker
 	palITLB *regionWalker
@@ -125,7 +128,10 @@ func kernelMix() workload.Mix {
 // buildCodebase lays out kernel text, PAL text and kernel data, and builds
 // all regions with per-context walkers.
 func buildCodebase(r *rng.Rand, contexts int) *codebase {
-	cb := &codebase{services: map[uint16]*regionWalker{}}
+	cb := &codebase{
+		services: map[uint16]*regionWalker{},
+		byName:   map[string]*regionWalker{},
+	}
 
 	kernText := uint64(mem.KernelTextBase)
 	palText := uint64(mem.PALTextBase)
@@ -176,6 +182,7 @@ func buildCodebase(r *rng.Rand, contexts int) *codebase {
 			w.ResetEvery = uint64(8 * static)
 			rw.ws = append(rw.ws, w)
 		}
+		cb.byName[name] = rw
 		return rw
 	}
 

@@ -14,11 +14,12 @@ import (
 
 // genEntry is one element of a context's generation stack: a generator plus
 // the annotation template its instructions carry, and an action to perform
-// when it is exhausted.
+// when it is exhausted. The action is plain data (see action.go) so the
+// whole stack serializes into a checkpoint.
 type genEntry struct {
-	g      workload.Generator
-	tmpl   pipeline.FedInst
-	onDone func()
+	g    workload.Generator
+	tmpl pipeline.FedInst
+	done action
 }
 
 // ctxFeed is the per-hardware-context generation state.
@@ -332,11 +333,9 @@ func (k *Kernel) fill(ctx int) bool {
 				f.buf = append(f.buf, wrap(in, top.tmpl))
 				return true
 			}
-			onDone := top.onDone
+			done := top.done
 			f.stack = f.stack[:n-1]
-			if onDone != nil {
-				onDone()
-			}
+			k.runAction(ctx, done)
 			continue
 		}
 		if f.paused {
@@ -404,13 +403,7 @@ func (k *Kernel) schedule(ctx int) {
 	f.push(genEntry{
 		g:    k.code.sched.limit(ctx, schedLen),
 		tmpl: tmpl,
-		onDone: func() {
-			f.cur = next
-			next.sinceSched = 0
-			if next.wakeReq != nil {
-				k.resumeBlockedSyscall(ctx, next)
-			}
-		},
+		done: action{Kind: actSwitchTo, TID: next.tid},
 	})
 }
 
@@ -490,15 +483,7 @@ func (k *Kernel) startSyscall(ctx int, t *Thread, req sys.Request) bool {
 	f.push(genEntry{
 		g:    &workload.Tail{Extra: []isa.Inst{call}},
 		tmpl: tmplFor(t, sys.CatSyscall, req.Num),
-		onDone: func() {
-			f.pendingReq = req
-			if f.syscallRetired {
-				f.syscallRetired = false
-				k.enterSyscall(ctx)
-			} else {
-				f.paused = true
-			}
-		},
+		done: action{Kind: actSyscallPause, Req: req},
 	})
 	return true
 }
@@ -521,18 +506,7 @@ func (k *Kernel) enterSyscall(ctx int) {
 	f.push(genEntry{
 		g:    k.code.services[req.Num].limit(ctx, dynLen(req)),
 		tmpl: tmplFor(t, sys.CatSyscall, req.Num),
-		onDone: func() {
-			k.unlock(req.Resource, t.tid)
-			res, block := k.syscallEffect(t, req)
-			if block {
-				t.wakeReq = &sys.Request{}
-				*t.wakeReq = req
-				t.state = tsBlocked
-				f.cur = nil
-				return
-			}
-			k.pushSvcReturn(ctx, t, req, res)
-		},
+		done: action{Kind: actSvcDone, TID: t.tid, Req: req},
 	})
 	if k.diskPath(req) {
 		// Buffer-cache miss: the zero-latency disk still costs the full
@@ -616,9 +590,7 @@ func (k *Kernel) pushSvcReturn(ctx int, t *Thread, req sys.Request, res int) {
 	f.push(genEntry{
 		g:    &workload.Tail{Extra: []isa.Inst{ret}},
 		tmpl: tmplFor(t, sys.CatSyscall, req.Num),
-		onDone: func() {
-			t.prog.OnSyscallResult(req, res)
-		},
+		done: action{Kind: actSvcResult, TID: t.tid, Req: req, Res: res},
 	})
 }
 
@@ -665,9 +637,7 @@ func (k *Kernel) exitThread(ctx int, t *Thread) {
 			Extra: []isa.Inst{ret},
 		},
 		tmpl: tmplFor(t, sys.CatSyscall, sys.SysExit),
-		onDone: func() {
-			f.cur = nil
-		},
+		done: action{Kind: actClearCur},
 	})
 }
 
@@ -721,9 +691,7 @@ func (k *Kernel) crashWorker(ctx int, t *Thread) {
 			Extra: []isa.Inst{ret},
 		},
 		tmpl: tmplFor(t, sys.CatSyscall, sys.SysExit),
-		onDone: func() {
-			f.cur = nil
-		},
+		done: action{Kind: actClearCur},
 	})
 }
 
@@ -763,6 +731,7 @@ func (k *Kernel) finishExit(tid uint32) {
 			k.Mem.ReleaseProcess(t.pid)
 			k.dtlb.InvalidateASN(t.asn)
 			k.itlb.InvalidateASN(t.asn)
+			t.released = true
 			return
 		}
 	}

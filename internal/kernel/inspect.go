@@ -1,0 +1,59 @@
+// Read-only accessors for the runtime invariant auditor (internal/audit):
+// thread and socket inventories with no pointers into kernel internals.
+package kernel
+
+// ThreadInfo describes one thread for auditing.
+type ThreadInfo struct {
+	TID    uint32
+	PID    uint64
+	ASN    uint16
+	Kind   string // "user", "netisr", "idle"
+	Exited bool
+	// Released is set once an exited thread's teardown (address-space
+	// release, ASN invalidation) has retired; until then the thread
+	// legitimately still owns pages and TLB entries.
+	Released bool
+	Worker   bool
+}
+
+// ThreadInfos returns a summary of every registered thread.
+func (k *Kernel) ThreadInfos() []ThreadInfo {
+	out := make([]ThreadInfo, 0, len(k.threads))
+	for _, t := range k.threads {
+		kind := "user"
+		switch t.kind {
+		case tkNetisr:
+			kind = "netisr"
+		case tkIdle:
+			kind = "idle"
+		}
+		out = append(out, ThreadInfo{
+			TID: t.tid, PID: t.pid, ASN: t.asn, Kind: kind,
+			Exited: t.state == tsExited, Released: t.released,
+			Worker: t.worker,
+		})
+	}
+	return out
+}
+
+// SocketInfo describes one kernel socket for auditing.
+type SocketInfo struct {
+	ID      int
+	Listen  bool
+	Conn    int
+	Closed  bool
+	Owner   uint32
+	Waiters int
+}
+
+// SocketInfos returns a summary of every kernel socket.
+func (k *Kernel) SocketInfos() []SocketInfo {
+	out := make([]SocketInfo, 0, len(k.net.socks))
+	for _, s := range k.net.socks {
+		out = append(out, SocketInfo{
+			ID: s.id, Listen: s.listen, Conn: s.conn,
+			Closed: s.closed, Owner: s.owner, Waiters: len(s.waiters),
+		})
+	}
+	return out
+}

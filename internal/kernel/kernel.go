@@ -133,6 +133,10 @@ type Thread struct {
 	// worker marks a crashable, respawnable server process (the
 	// fault-injection process domain targets only these).
 	worker bool
+	// released is set once the exit teardown (address-space release, ASN
+	// invalidation) has retired. Between tsExited and released the thread
+	// legitimately still owns its pages and TLB entries.
+	released bool
 }
 
 // TID returns the thread's identifier.

@@ -123,10 +123,7 @@ func (k *Kernel) netisrStep(ctx int, t *Thread) bool {
 	f.push(genEntry{
 		g:    k.code.netisr.limit(ctx, n*netisrFrameLen),
 		tmpl: kthreadTmpl(t.tid, sys.CatNetisr),
-		onDone: func() {
-			k.unlock(sys.ResNet, t.tid)
-			k.deliverFrames(batch)
-		},
+		done: action{Kind: actNetisrDone, TID: t.tid, Batch: batch},
 	})
 	k.pushLockAcquire(ctx, t, sys.ResNet, sys.CatNetisr, 0)
 	return true

@@ -1,0 +1,158 @@
+// Checkpoint serialization and auditor accessors for the memory model.
+package mem
+
+import "sort"
+
+// PTE is one serialized page-table entry.
+type PTE struct {
+	PID uint64
+	VPN uint64
+	PFN uint64
+}
+
+// Mapping describes one frame's owner (serialized owners[] entry).
+type Mapping struct {
+	PID uint64
+	VPN uint64
+}
+
+// SharedRange is one serialized shared user range.
+type SharedRange struct {
+	Base, End uint64
+}
+
+// Snapshot captures all mutable memory state.
+type Snapshot struct {
+	Shared     []SharedRange
+	NextFrame  uint64
+	Free       []uint64
+	Owners     []Mapping
+	FIFO       []uint64
+	FIFOHead   int
+	Tables     []PTE
+	Reserved   uint64
+	Allocs     uint64
+	Reclaims   uint64
+	Refills    uint64
+	Unmappings uint64
+}
+
+// Snapshot returns the memory's complete mutable state. Page tables are
+// emitted in (pid, vpn) sorted order so the serialized bytes of a
+// deterministic run are themselves deterministic.
+func (m *Memory) Snapshot() Snapshot {
+	s := Snapshot{
+		NextFrame:  m.nextFrame,
+		Free:       append([]uint64(nil), m.free...),
+		Owners:     make([]Mapping, len(m.owners)),
+		FIFO:       append([]uint64(nil), m.fifo...),
+		FIFOHead:   m.fifoHead,
+		Reserved:   m.reserved,
+		Allocs:     m.Allocs,
+		Reclaims:   m.Reclaims,
+		Refills:    m.Refills,
+		Unmappings: m.Unmappings,
+	}
+	for _, r := range m.shared {
+		s.Shared = append(s.Shared, SharedRange{Base: r.base, End: r.end})
+	}
+	for i, o := range m.owners {
+		s.Owners[i] = Mapping{PID: o.pid, VPN: o.vpn}
+	}
+	for pid, t := range m.tables {
+		for vpn, pfn := range t {
+			s.Tables = append(s.Tables, PTE{PID: pid, VPN: vpn, PFN: pfn})
+		}
+	}
+	sort.Slice(s.Tables, func(i, j int) bool {
+		if s.Tables[i].PID != s.Tables[j].PID {
+			return s.Tables[i].PID < s.Tables[j].PID
+		}
+		return s.Tables[i].VPN < s.Tables[j].VPN
+	})
+	return s
+}
+
+// Restore overwrites the memory's state from a snapshot taken on a Memory of
+// the same physical size.
+func (m *Memory) Restore(s Snapshot) {
+	if uint64(len(s.Owners)) != m.frames {
+		panic("mem: snapshot geometry mismatch")
+	}
+	m.shared = m.shared[:0]
+	for _, r := range s.Shared {
+		m.shared = append(m.shared, struct{ base, end uint64 }{r.Base, r.End})
+	}
+	m.nextFrame = s.NextFrame
+	m.free = append(m.free[:0], s.Free...)
+	for i, o := range s.Owners {
+		m.owners[i] = mapping{pid: o.PID, vpn: o.VPN}
+	}
+	m.fifo = append(m.fifo[:0], s.FIFO...)
+	m.fifoHead = s.FIFOHead
+	m.tables = make(map[uint64]map[uint64]uint64)
+	for _, e := range s.Tables {
+		t := m.tables[e.PID]
+		if t == nil {
+			t = make(map[uint64]uint64)
+			m.tables[e.PID] = t
+		}
+		t[e.VPN] = e.PFN
+	}
+	m.reserved = s.Reserved
+	m.Allocs = s.Allocs
+	m.Reclaims = s.Reclaims
+	m.Refills = s.Refills
+	m.Unmappings = s.Unmappings
+}
+
+// AllMappings returns every page-table entry in (pid, vpn) sorted order
+// (auditor access).
+func (m *Memory) AllMappings() []PTE {
+	var out []PTE
+	for pid, t := range m.tables {
+		for vpn, pfn := range t {
+			out = append(out, PTE{PID: pid, VPN: vpn, PFN: pfn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].VPN < out[j].VPN
+	})
+	return out
+}
+
+// FreeFrames returns a copy of the free list (auditor access).
+func (m *Memory) FreeFrames() []uint64 {
+	return append([]uint64(nil), m.free...)
+}
+
+// TablePIDs returns the PIDs that currently own a page table with at least
+// one mapping, sorted (auditor access).
+func (m *Memory) TablePIDs() []uint64 {
+	var out []uint64
+	for pid, t := range m.tables {
+		if len(t) > 0 {
+			out = append(out, pid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Peek returns the physical frame mapped at (pid, vaddr), if any, without
+// creating tables or mappings (auditor access; Translate would instantiate
+// an empty page table for an unknown pid).
+func (m *Memory) Peek(pid uint64, vaddr uint64) (pfn uint64, ok bool) {
+	if IsKernelAddr(vaddr) || m.isShared(vaddr) {
+		pid = KernelPID
+	}
+	t := m.tables[pid]
+	if t == nil {
+		return 0, false
+	}
+	pfn, ok = t[VPN(vaddr)]
+	return pfn, ok
+}

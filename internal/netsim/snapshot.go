@@ -1,0 +1,126 @@
+// Checkpoint serialization for the network simulator and client fleet.
+package netsim
+
+import (
+	"sort"
+
+	"repro/internal/kernel"
+)
+
+// ClientSnap is the serialized form of one client state machine.
+type ClientSnap struct {
+	State    uint8
+	Conn     int
+	NextAt   uint64
+	Got      int
+	Want     int
+	ReqsLeft int
+	Closing  bool
+	Acks     int
+	RetryAt  uint64
+	Retries  int
+	Timeout  int
+}
+
+// DelayedSnap is one frame in transit under fault-injected delay.
+type DelayedSnap struct {
+	Due   uint64
+	Frame kernel.Frame
+}
+
+// FileSnap records one connection's requested file size.
+type FileSnap struct {
+	Conn int
+	Size int
+}
+
+// Snapshot captures the network's complete mutable state.
+type Snapshot struct {
+	RNG         [4]uint64
+	Clients     []ClientSnap
+	Ticks       uint64
+	NextID      int
+	Files       []FileSnap
+	DelayedIn   []DelayedSnap
+	DelayedOut  []DelayedSnap
+	Requests    uint64
+	Completed   uint64
+	BytesServed uint64
+	PerClass    [4]uint64
+	Retransmits uint64
+	Aborted     uint64
+	Resets      uint64
+}
+
+// Snapshot returns the network's mutable state. The files map is emitted
+// connection-sorted so serialization of a deterministic run is deterministic.
+func (n *Network) Snapshot() Snapshot {
+	s := Snapshot{
+		RNG:         n.rng.State(),
+		Clients:     make([]ClientSnap, len(n.clients)),
+		Ticks:       n.ticks,
+		NextID:      n.nextID,
+		Requests:    n.Requests,
+		Completed:   n.Completed,
+		BytesServed: n.BytesServed,
+		PerClass:    n.PerClass,
+		Retransmits: n.Retransmits,
+		Aborted:     n.Aborted,
+		Resets:      n.Resets,
+	}
+	for i, c := range n.clients {
+		s.Clients[i] = ClientSnap{
+			State: uint8(c.state), Conn: c.conn, NextAt: c.nextAt,
+			Got: c.got, Want: c.want, ReqsLeft: c.reqsLeft, Closing: c.closing,
+			Acks: c.acks, RetryAt: c.retryAt, Retries: c.retries, Timeout: c.timeout,
+		}
+	}
+	for conn, size := range n.files {
+		s.Files = append(s.Files, FileSnap{Conn: conn, Size: size})
+	}
+	sort.Slice(s.Files, func(i, j int) bool { return s.Files[i].Conn < s.Files[j].Conn })
+	for _, d := range n.delayedIn {
+		s.DelayedIn = append(s.DelayedIn, DelayedSnap{Due: d.due, Frame: d.fr})
+	}
+	for _, d := range n.delayedOut {
+		s.DelayedOut = append(s.DelayedOut, DelayedSnap{Due: d.due, Frame: d.fr})
+	}
+	return s
+}
+
+// Restore overwrites the network's state from a snapshot taken on a network
+// with the same client count.
+func (n *Network) Restore(s Snapshot) {
+	if len(s.Clients) != len(n.clients) {
+		panic("netsim: snapshot geometry mismatch")
+	}
+	n.rng.SetState(s.RNG)
+	for i, c := range s.Clients {
+		n.clients[i] = client{
+			state: clientState(c.State), conn: c.Conn, nextAt: c.NextAt,
+			got: c.Got, want: c.Want, reqsLeft: c.ReqsLeft, closing: c.Closing,
+			acks: c.Acks, retryAt: c.RetryAt, retries: c.Retries, timeout: c.Timeout,
+		}
+	}
+	n.ticks = s.Ticks
+	n.nextID = s.NextID
+	n.files = make(map[int]int, len(s.Files))
+	for _, f := range s.Files {
+		n.files[f.Conn] = f.Size
+	}
+	n.delayedIn = n.delayedIn[:0]
+	for _, d := range s.DelayedIn {
+		n.delayedIn = append(n.delayedIn, delayedFrame{due: d.Due, fr: d.Frame})
+	}
+	n.delayedOut = n.delayedOut[:0]
+	for _, d := range s.DelayedOut {
+		n.delayedOut = append(n.delayedOut, delayedFrame{due: d.Due, fr: d.Frame})
+	}
+	n.Requests = s.Requests
+	n.Completed = s.Completed
+	n.BytesServed = s.BytesServed
+	n.PerClass = s.PerClass
+	n.Retransmits = s.Retransmits
+	n.Aborted = s.Aborted
+	n.Resets = s.Resets
+}

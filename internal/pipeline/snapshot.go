@@ -1,0 +1,285 @@
+// Checkpoint serialization for the pipeline engine: every in-flight
+// instruction, the completion-event heap (copied as the raw heap array, so
+// pop order is preserved exactly), issue-queue occupancy, renaming-register
+// accounting, and all metrics. The attached hardware structures (caches,
+// TLBs, predictor, store buffer) snapshot through their own packages.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/sys"
+	"repro/internal/tlb"
+)
+
+// UopSnap is the serialized form of one in-flight instruction.
+type UopSnap struct {
+	In        FedInst
+	Idx       uint64
+	Seq       uint64
+	ID        uint64
+	State     uint8
+	FetchedAt uint64
+	DoneAt    uint64
+	WrongPath bool
+	Mispred   bool
+	Faulted   bool
+	Paddr     uint64
+	UsesInt   bool
+	UsesFP    bool
+	InQueue   bool
+}
+
+// EventSnap is one completion event.
+type EventSnap struct {
+	At  uint64
+	Ctx int
+	Seq uint64
+	ID  uint64
+}
+
+// QrefSnap is one issue-queue occupant.
+type QrefSnap struct {
+	Ctx int
+	Seq uint64
+	ID  uint64
+}
+
+// CtxSnap is the serialized form of one hardware context. The ROB ring is
+// copied whole (fixed geometry) together with its head/size cursor.
+type CtxSnap struct {
+	ROB           []UopSnap
+	Head, Sz      int
+	HeadSeq       uint64
+	NextSeq       uint64
+	FetchIdx      uint64
+	Dispatch      int
+	ICacheReadyAt uint64
+	RedirectAt    uint64
+	HasWrong      bool
+	WrongPC       uint64
+	WrongState    uint64
+	WrongTmpl     FedInst
+	LastILine     uint64
+	HadWork       bool
+	PendingILine  uint64
+	LastCat       sys.Category
+	LastMode      isa.Mode
+	LastSys       uint16
+	LastTID       uint32
+}
+
+// Snapshot is the engine's complete mutable state, hardware included.
+type Snapshot struct {
+	Hier    cache.HierSnap
+	ITLB    tlb.Snapshot
+	DTLB    tlb.Snapshot
+	Pred    bpred.Snapshot
+	SB      cache.SBSnap
+	Metrics Metrics
+	Cycles  stats.Cycles
+	Mix     stats.Mix
+
+	Now       uint64
+	Ctxs      []CtxSnap
+	Events    []EventSnap
+	NextID    uint64
+	PerThread []ThreadStat
+
+	IntQ, FPQ   []QrefSnap
+	IntRegsUsed int
+	FPRegsUsed  int
+	RRRetire    int
+	RRFetch     int
+	RRDispatch  int
+}
+
+func snapUop(u *uop) UopSnap {
+	return UopSnap{
+		In: u.in, Idx: u.idx, Seq: u.seq, ID: u.id, State: uint8(u.state),
+		FetchedAt: u.fetchedAt, DoneAt: u.doneAt,
+		WrongPath: u.wrongPath, Mispred: u.mispred, Faulted: u.faulted,
+		Paddr: u.paddr, UsesInt: u.usesInt, UsesFP: u.usesFP, InQueue: u.inQueue,
+	}
+}
+
+func restoreUop(s UopSnap) uop {
+	return uop{
+		in: s.In, idx: s.Idx, seq: s.Seq, id: s.ID, state: uopState(s.State),
+		fetchedAt: s.FetchedAt, doneAt: s.DoneAt,
+		wrongPath: s.WrongPath, mispred: s.Mispred, faulted: s.Faulted,
+		paddr: s.Paddr, usesInt: s.UsesInt, usesFP: s.UsesFP, inQueue: s.InQueue,
+	}
+}
+
+func snapQrefs(qs []qref) []QrefSnap {
+	out := make([]QrefSnap, len(qs))
+	for i, q := range qs {
+		out[i] = QrefSnap{Ctx: q.ctx, Seq: q.seq, ID: q.id}
+	}
+	return out
+}
+
+func restoreQrefs(dst []qref, ss []QrefSnap) []qref {
+	dst = dst[:0]
+	for _, s := range ss {
+		dst = append(dst, qref{ctx: s.Ctx, seq: s.Seq, id: s.ID})
+	}
+	return dst
+}
+
+// Snapshot captures the engine's mutable state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Hier:        e.Hier.Snapshot(),
+		ITLB:        e.ITLB.Snapshot(),
+		DTLB:        e.DTLB.Snapshot(),
+		Pred:        e.Pred.Snapshot(),
+		SB:          e.SB.Snapshot(),
+		Metrics:     e.Metrics,
+		Cycles:      e.Cycles,
+		Mix:         e.Mix,
+		Now:         e.now,
+		NextID:      e.nextID,
+		PerThread:   append([]ThreadStat(nil), e.perThread...),
+		IntQ:        snapQrefs(e.intQ),
+		FPQ:         snapQrefs(e.fpQ),
+		IntRegsUsed: e.intRegsUsed,
+		FPRegsUsed:  e.fpRegsUsed,
+		RRRetire:    e.rrRetire,
+		RRFetch:     e.rrFetch,
+		RRDispatch:  e.rrDispatch,
+	}
+	s.Ctxs = make([]CtxSnap, len(e.ctxs))
+	for i := range e.ctxs {
+		c := &e.ctxs[i]
+		cs := &s.Ctxs[i]
+		cs.ROB = make([]UopSnap, len(c.rob))
+		for j := range c.rob {
+			cs.ROB[j] = snapUop(&c.rob[j])
+		}
+		cs.Head, cs.Sz = c.head, c.sz
+		cs.HeadSeq, cs.NextSeq = c.headSeq, c.nextSeq
+		cs.FetchIdx, cs.Dispatch = c.fetchIdx, c.dispatch
+		cs.ICacheReadyAt, cs.RedirectAt = c.icacheReadyAt, c.redirectAt
+		if c.wrong != nil {
+			cs.HasWrong = true
+			cs.WrongPC = c.wrong.pc
+			cs.WrongState = c.wrong.state
+			cs.WrongTmpl = c.wrong.tmpl
+		}
+		cs.LastILine = c.lastILine
+		cs.HadWork = c.hadWork
+		cs.PendingILine = c.pendingILine
+		cs.LastCat, cs.LastMode = c.lastCat, c.lastMode
+		cs.LastSys, cs.LastTID = c.lastSys, c.lastTID
+	}
+	s.Events = make([]EventSnap, len(e.events))
+	for i, ev := range e.events {
+		s.Events[i] = EventSnap{At: ev.at, Ctx: ev.ctx, Seq: ev.seq, ID: ev.id}
+	}
+	return s
+}
+
+// Restore overwrites the engine's state from a snapshot taken on an engine
+// with the same configuration.
+func (e *Engine) Restore(s Snapshot) error {
+	if len(s.Ctxs) != len(e.ctxs) {
+		return fmt.Errorf("pipeline: snapshot has %d contexts, engine has %d", len(s.Ctxs), len(e.ctxs))
+	}
+	for i := range s.Ctxs {
+		if len(s.Ctxs[i].ROB) != len(e.ctxs[i].rob) {
+			return fmt.Errorf("pipeline: snapshot ROB size %d, engine %d", len(s.Ctxs[i].ROB), len(e.ctxs[i].rob))
+		}
+	}
+	e.Hier.Restore(s.Hier)
+	e.ITLB.Restore(s.ITLB)
+	e.DTLB.Restore(s.DTLB)
+	e.Pred.Restore(s.Pred)
+	e.SB.Restore(s.SB)
+	e.Metrics = s.Metrics
+	e.Cycles = s.Cycles
+	e.Mix = s.Mix
+	e.now = s.Now
+	e.nextID = s.NextID
+	e.perThread = append(e.perThread[:0], s.PerThread...)
+	e.intQ = restoreQrefs(e.intQ, s.IntQ)
+	e.fpQ = restoreQrefs(e.fpQ, s.FPQ)
+	e.intRegsUsed = s.IntRegsUsed
+	e.fpRegsUsed = s.FPRegsUsed
+	e.rrRetire = s.RRRetire
+	e.rrFetch = s.RRFetch
+	e.rrDispatch = s.RRDispatch
+	for i := range e.ctxs {
+		c := &e.ctxs[i]
+		cs := &s.Ctxs[i]
+		for j := range c.rob {
+			c.rob[j] = restoreUop(cs.ROB[j])
+		}
+		c.head, c.sz = cs.Head, cs.Sz
+		c.headSeq, c.nextSeq = cs.HeadSeq, cs.NextSeq
+		c.fetchIdx, c.dispatch = cs.FetchIdx, cs.Dispatch
+		c.icacheReadyAt, c.redirectAt = cs.ICacheReadyAt, cs.RedirectAt
+		c.wrong = nil
+		if cs.HasWrong {
+			c.wrong = &wrongGen{pc: cs.WrongPC, state: cs.WrongState, tmpl: cs.WrongTmpl}
+		}
+		c.lastILine = cs.LastILine
+		c.hadWork = cs.HadWork
+		c.pendingILine = cs.PendingILine
+		c.lastCat, c.lastMode = cs.LastCat, cs.LastMode
+		c.lastSys, c.lastTID = cs.LastSys, cs.LastTID
+	}
+	e.events = e.events[:0]
+	for _, ev := range s.Events {
+		e.events = append(e.events, event{at: ev.At, ctx: ev.Ctx, seq: ev.Seq, id: ev.ID})
+	}
+	return nil
+}
+
+// CheckQueueConsistency cross-checks the shared issue-queue lists against
+// ROB contents: every queue occupant must reference a live, queue-marked
+// in-flight instruction, and the queue-marked population must equal queue
+// occupancy. It returns one description per violation (auditor access).
+func (e *Engine) CheckQueueConsistency() []string {
+	var bad []string
+	queued := 0
+	for _, q := range append(append([]qref(nil), e.intQ...), e.fpQ...) {
+		if q.ctx < 0 || q.ctx >= len(e.ctxs) {
+			bad = append(bad, fmt.Sprintf("queue entry references context %d of %d", q.ctx, len(e.ctxs)))
+			continue
+		}
+		c := &e.ctxs[q.ctx]
+		if q.seq < c.headSeq || q.seq >= c.headSeq+uint64(c.sz) {
+			bad = append(bad, fmt.Sprintf("queue entry ctx%d seq%d outside ROB window [%d,%d)",
+				q.ctx, q.seq, c.headSeq, c.headSeq+uint64(c.sz)))
+			continue
+		}
+		u := c.robAt(int(q.seq - c.headSeq))
+		if u.id != q.id {
+			bad = append(bad, fmt.Sprintf("queue entry ctx%d seq%d id mismatch: queue %d, ROB %d",
+				q.ctx, q.seq, q.id, u.id))
+			continue
+		}
+		if !u.inQueue {
+			bad = append(bad, fmt.Sprintf("queue entry ctx%d seq%d not marked in-queue", q.ctx, q.seq))
+		}
+	}
+	for ctx := range e.ctxs {
+		c := &e.ctxs[ctx]
+		for i := 0; i < c.sz; i++ {
+			if c.robAt(i).inQueue {
+				queued++
+			}
+		}
+	}
+	if queued != len(e.intQ)+len(e.fpQ) {
+		bad = append(bad, fmt.Sprintf("in-flight queue-marked count %d != queue occupancy %d+%d",
+			queued, len(e.intQ), len(e.fpQ)))
+	}
+	return bad
+}

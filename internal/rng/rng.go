@@ -13,7 +13,10 @@
 // releases and so that child generators can be split off deterministically.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Rand is a deterministic random number generator (xoshiro256**).
 // The zero value is not usable; construct with New.
@@ -178,4 +181,38 @@ func (z *Zipf) Next() int {
 		}
 	}
 	return lo
+}
+
+// State returns the generator's internal state, for checkpointing. Restoring
+// the same state with SetState resumes the stream bit-identically.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state (checkpoint restore).
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
+// GobEncode serializes the generator state so *Rand fields embedded in
+// snapshot structs round-trip through encoding/gob transparently.
+func (r *Rand) GobEncode() ([]byte, error) {
+	buf := make([]byte, 32)
+	for i, w := range r.s {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(w >> (8 * b))
+		}
+	}
+	return buf, nil
+}
+
+// GobDecode restores a generator serialized by GobEncode.
+func (r *Rand) GobDecode(buf []byte) error {
+	if len(buf) != 32 {
+		return fmt.Errorf("rng: bad state length %d", len(buf))
+	}
+	for i := range r.s {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(buf[i*8+b]) << (8 * b)
+		}
+		r.s[i] = w
+	}
+	return nil
 }

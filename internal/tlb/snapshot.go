@@ -1,0 +1,95 @@
+// Checkpoint serialization and auditor accessors for the TLB model.
+package tlb
+
+import (
+	"repro/internal/conflict"
+	"repro/internal/mem"
+)
+
+// EntrySnap is the serialized form of one TLB entry.
+type EntrySnap struct {
+	Valid   bool
+	ASN     uint16
+	VPN     uint64
+	PFN     uint64
+	LastUse uint64
+	Filler  conflict.Agent
+	Touched uint64
+}
+
+// Snapshot captures all mutable TLB state for checkpointing.
+type Snapshot struct {
+	Entries       []EntrySnap
+	Tick          uint64
+	Tracker       []conflict.TrackerEntry
+	Accesses      [2]uint64
+	Misses        [2]uint64
+	Causes        conflict.Matrix
+	Shared        conflict.Sharing
+	Invalidations uint64
+}
+
+// Snapshot returns the TLB's complete mutable state.
+func (t *TLB) Snapshot() Snapshot {
+	s := Snapshot{
+		Entries:       make([]EntrySnap, len(t.entries)),
+		Tick:          t.tick,
+		Tracker:       t.tracker.Snapshot(),
+		Accesses:      t.Accesses,
+		Misses:        t.Misses,
+		Causes:        t.Causes,
+		Shared:        t.Shared,
+		Invalidations: t.Invalidations,
+	}
+	for i, e := range t.entries {
+		s.Entries[i] = EntrySnap{
+			Valid: e.valid, ASN: e.asn, VPN: e.vpn, PFN: e.pfn,
+			LastUse: e.lastUse, Filler: e.filler, Touched: e.touched,
+		}
+	}
+	return s
+}
+
+// Restore overwrites the TLB's state from a snapshot. The snapshot must come
+// from a TLB of the same size (geometry is configuration, not state).
+func (t *TLB) Restore(s Snapshot) {
+	if len(s.Entries) != len(t.entries) {
+		panic("tlb: snapshot geometry mismatch")
+	}
+	t.index = make(map[uint64]int32, len(t.entries)*2)
+	for i, e := range s.Entries {
+		t.entries[i] = Entry{
+			valid: e.Valid, asn: e.ASN, vpn: e.VPN, pfn: e.PFN,
+			lastUse: e.LastUse, filler: e.Filler, touched: e.Touched,
+		}
+		if e.Valid {
+			t.index[key(e.ASN, e.VPN)] = int32(i)
+		}
+	}
+	t.tick = s.Tick
+	t.tracker.Restore(s.Tracker)
+	t.Accesses = s.Accesses
+	t.Misses = s.Misses
+	t.Causes = s.Causes
+	t.Shared = s.Shared
+	t.Invalidations = s.Invalidations
+}
+
+// LiveEntry describes one valid entry for the invariant auditor.
+type LiveEntry struct {
+	ASN  uint16
+	VPN  uint64
+	PFN  uint64
+	Addr uint64 // a representative virtual address within the page
+}
+
+// LiveEntries returns every valid entry (auditor access).
+func (t *TLB) LiveEntries() []LiveEntry {
+	var out []LiveEntry
+	for _, e := range t.entries {
+		if e.valid {
+			out = append(out, LiveEntry{ASN: e.asn, VPN: e.vpn, PFN: e.pfn, Addr: e.vpn << mem.PageShift})
+		}
+	}
+	return out
+}

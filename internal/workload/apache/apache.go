@@ -16,12 +16,19 @@
 package apache
 
 import (
+	"encoding/gob"
+
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/rng"
 	"repro/internal/sys"
 	"repro/internal/workload"
 )
+
+func init() {
+	// The checkpoint layer serializes ScriptProgram.State as an interface.
+	gob.Register(&ProcState{})
+}
 
 // Config parameterizes the server model.
 type Config struct {
@@ -168,6 +175,27 @@ func (s *Server) Respawn() *workload.ScriptProgram {
 	return s.process(s.nextSlot)
 }
 
+// ProcState is one server process's mutable script state. It is exported
+// (and gob-registered) so the checkpoint layer can serialize it; the process
+// closures read and write it through a pointer, which is also published as
+// ScriptProgram.State.
+type ProcState struct {
+	St        reqState
+	FD        int
+	FileBytes int
+	Sent      int
+	Mapped    bool
+	Served    bool
+	MmapAddr  uint64
+	Prng      *rng.Rand
+}
+
+// ProcessFor rebuilds the process model for an existing slot (checkpoint
+// restore). Unlike Respawn it does not advance the slot counter.
+func (s *Server) ProcessFor(slot int) *workload.ScriptProgram {
+	return s.process(slot)
+}
+
 // process builds one server process: shared text, private data.
 func (s *Server) process(slot int) *workload.ScriptProgram {
 	r := rng.New(s.cfg.Seed ^ uint64(slot)*0x9e37)
@@ -181,14 +209,12 @@ func (s *Server) process(slot int) *workload.ScriptProgram {
 	w := workload.NewWalker(&reg, r.Split(1))
 	w.ResetEvery = uint64(4 * staticTextInsts)
 
-	st := stAccept
-	fd := -1
-	fileBytes := 0
-	sent := 0
-	mapped := false
-	served := false
-	mmapAddr := heap + 0x0400_0000
-	prng := r.Split(2)
+	ps := &ProcState{
+		St:       stAccept,
+		FD:       -1,
+		MmapAddr: heap + 0x0400_0000,
+		Prng:     r.Split(2),
+	}
 
 	run := func(n int) workload.Step {
 		return workload.Step{Kind: workload.StepRun, N: uint64(n)}
@@ -198,113 +224,113 @@ func (s *Server) process(slot int) *workload.ScriptProgram {
 	}
 
 	next := func() workload.Step {
-		switch st {
+		switch ps.St {
 		case stAccept:
-			if prng.Bool(0.3) {
+			if ps.Prng.Bool(0.3) {
 				// Apache occasionally polls before blocking in accept.
 				return call(sys.Request{Num: sys.SysSelect, Resource: sys.ResNet, FD: kernelListenFD})
 			}
-			st = stReadReq
+			ps.St = stReadReq
 			return call(sys.Request{Num: sys.SysAccept, Resource: sys.ResNet,
 				FD: kernelListenFD, Blocking: true})
 		case stReadReq:
-			st = stParse
+			ps.St = stParse
 			return call(sys.Request{Num: sys.SysRead, Resource: sys.ResNet,
-				FD: fd, Blocking: true})
+				FD: ps.FD, Blocking: true})
 		case stParse:
-			st = stStat
-			return run(3600 + prng.Intn(2400))
+			ps.St = stStat
+			return run(3600 + ps.Prng.Intn(2400))
 		case stStat:
-			st = stOpen
+			ps.St = stOpen
 			return call(sys.Request{Num: sys.SysStat, Resource: sys.ResFile})
 		case stOpen:
-			st = stTransfer
+			ps.St = stTransfer
 			return call(sys.Request{Num: sys.SysOpen, Resource: sys.ResFile})
 		case stTransfer:
-			if fileBytes > s.cfg.MmapThreshold && !mapped {
-				mapped = true
-				st = stPrep
+			if ps.FileBytes > s.cfg.MmapThreshold && !ps.Mapped {
+				ps.Mapped = true
+				ps.St = stPrep
 				return call(sys.Request{Num: sys.SysSmmap, Resource: sys.ResMemory,
-					Addr: mmapAddr, Bytes: fileBytes})
+					Addr: ps.MmapAddr, Bytes: ps.FileBytes})
 			}
-			if !mapped && sent < fileBytes {
-				n := fileBytes - sent
+			if !ps.Mapped && ps.Sent < ps.FileBytes {
+				n := ps.FileBytes - ps.Sent
 				if n > s.cfg.ReadChunk {
 					n = s.cfg.ReadChunk
 				}
-				sent += n
+				ps.Sent += n
 				return call(sys.Request{Num: sys.SysRead, Resource: sys.ResFile, Bytes: n})
 			}
-			st = stWrite
-			return run(5200 + prng.Intn(2800))
+			ps.St = stWrite
+			return run(5200 + ps.Prng.Intn(2800))
 		case stPrep:
-			st = stWrite
-			return run(1500 + prng.Intn(800))
+			ps.St = stWrite
+			return run(1500 + ps.Prng.Intn(800))
 		case stWrite:
-			if mapped {
-				st = stUnmap
+			if ps.Mapped {
+				ps.St = stUnmap
 			} else {
-				st = stCloseFile
+				ps.St = stCloseFile
 			}
-			served = true
+			ps.Served = true
 			return call(sys.Request{Num: sys.SysWritev, Resource: sys.ResNet,
-				FD: fd, Bytes: fileBytes})
+				FD: ps.FD, Bytes: ps.FileBytes})
 		case stUnmap:
-			st = stCloseFile
-			return call(sys.Request{Num: sys.SysMunmap, Resource: sys.ResMemory, Addr: mmapAddr})
+			ps.St = stCloseFile
+			return call(sys.Request{Num: sys.SysMunmap, Resource: sys.ResMemory, Addr: ps.MmapAddr})
 		case stCloseFile:
 			if s.cfg.KeepAlive {
 				// The connection stays open; only the file is closed.
-				st = stLog
+				ps.St = stLog
 			} else {
-				st = stCloseConn
+				ps.St = stCloseConn
 			}
 			return call(sys.Request{Num: sys.SysClose, Resource: sys.ResFile})
 		case stCloseConn:
-			st = stLog
-			fdc := fd
-			fd = -1
+			ps.St = stLog
+			fdc := ps.FD
+			ps.FD = -1
 			return call(sys.Request{Num: sys.SysClose, Resource: sys.ResNet, FD: fdc})
 		case stLog:
-			if s.cfg.KeepAlive && fd >= 0 {
-				st = stNextOrClose
+			if s.cfg.KeepAlive && ps.FD >= 0 {
+				ps.St = stNextOrClose
 			} else {
-				st = stAccept
+				ps.St = stAccept
 			}
-			if served {
+			if ps.Served {
 				s.RequestsHandled++
-				served = false
+				ps.Served = false
 			}
-			fileBytes = 0
-			sent = 0
-			mapped = false
-			return run(5200 + prng.Intn(2800))
+			ps.FileBytes = 0
+			ps.Sent = 0
+			ps.Mapped = false
+			return run(5200 + ps.Prng.Intn(2800))
 		case stNextOrClose:
 			// Blocking read: either the next request arrives (resultFn
 			// moves us to stParse) or the peer closed (result 0 moves us
 			// to stCloseConn).
-			st = stParse
+			ps.St = stParse
 			return call(sys.Request{Num: sys.SysRead, Resource: sys.ResNet,
-				FD: fd, Blocking: true})
+				FD: ps.FD, Blocking: true})
 		}
 		panic("apache: bad state")
 	}
 
 	lookupFile := func() {
-		fileBytes = 0
+		ps.FileBytes = 0
 		if s.cfg.ConnOf != nil && s.cfg.FileSize != nil {
-			if conn := s.cfg.ConnOf(fd); conn >= 0 {
-				fileBytes = s.cfg.FileSize(conn)
+			if conn := s.cfg.ConnOf(ps.FD); conn >= 0 {
+				ps.FileBytes = s.cfg.FileSize(conn)
 			}
 		}
-		if fileBytes == 0 {
-			fileBytes = 2048
+		if ps.FileBytes == 0 {
+			ps.FileBytes = 2048
 		}
 	}
 	resultFn := func(req sys.Request, result int) {
 		switch {
 		case req.Num == sys.SysAccept:
-			fd = result
+			ps.FD = result
 			lookupFile()
 		case req.Num == sys.SysRead && req.Resource == sys.ResNet:
 			if !s.cfg.KeepAlive {
@@ -312,7 +338,7 @@ func (s *Server) process(slot int) *workload.ScriptProgram {
 			}
 			if result == 0 {
 				// Peer closed the kept-alive connection.
-				st = stCloseConn
+				ps.St = stCloseConn
 				return
 			}
 			// A fresh request arrived on the open connection.
@@ -325,7 +351,26 @@ func (s *Server) process(slot int) *workload.ScriptProgram {
 		W:        w,
 		NextFn:   next,
 		ResultFn: resultFn,
+		Slot:     slot,
+		State:    ps,
 	}
+}
+
+// ServerSnap captures the pool-level mutable state for checkpointing.
+type ServerSnap struct {
+	NextSlot        int
+	RequestsHandled uint64
+}
+
+// Snapshot returns the server's pool-level state.
+func (s *Server) Snapshot() ServerSnap {
+	return ServerSnap{NextSlot: s.nextSlot, RequestsHandled: s.RequestsHandled}
+}
+
+// Restore overwrites the server's pool-level state.
+func (s *Server) Restore(snap ServerSnap) {
+	s.nextSlot = snap.NextSlot
+	s.RequestsHandled = snap.RequestsHandled
 }
 
 // kernelListenFD mirrors kernel.ListenFD without importing the kernel

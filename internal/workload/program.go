@@ -49,6 +49,16 @@ type ScriptProgram struct {
 	W        *Walker
 	NextFn   func() Step
 	ResultFn func(req sys.Request, result int)
+
+	// Slot distinguishes instances that share a ProgName (e.g. forked Apache
+	// workers); together (ProgName, Slot) identify a program for checkpoint
+	// restore.
+	Slot int
+	// State points at the program's script state (a workload-package-specific
+	// exported struct that NextFn/ResultFn close over). The checkpoint layer
+	// serializes it with gob and copies the decoded value back on restore;
+	// programs with no mutable script state leave it nil.
+	State any
 }
 
 // Name implements Program.

@@ -1,0 +1,57 @@
+// Checkpoint serialization for workload walkers. Regions are static after
+// Build (they are re-derived from configuration at restore time); everything
+// a Walker mutates while running is captured here.
+package workload
+
+// WalkerSnap captures one walker's mutable state. The owning Region is not
+// serialized: the restorer rebuilds it deterministically and matches walkers
+// to regions by name.
+type WalkerSnap struct {
+	Idx        int
+	Loops      []int32
+	CallStack  []int32
+	Cursors    []uint64
+	ColdPage   []uint64
+	ColdLeft   []int32
+	SwitchPos  []int32
+	Count      uint64
+	ResetEvery uint64
+	RNG        [4]uint64
+}
+
+// Snapshot returns the walker's complete mutable state.
+func (w *Walker) Snapshot() WalkerSnap {
+	return WalkerSnap{
+		Idx:        w.idx,
+		Loops:      append([]int32(nil), w.loops...),
+		CallStack:  append([]int32(nil), w.callStack...),
+		Cursors:    append([]uint64(nil), w.cursors...),
+		ColdPage:   append([]uint64(nil), w.coldPage...),
+		ColdLeft:   append([]int32(nil), w.coldLeft...),
+		SwitchPos:  append([]int32(nil), w.switchPos...),
+		Count:      w.Count,
+		ResetEvery: w.ResetEvery,
+		RNG:        w.rng.State(),
+	}
+}
+
+// Restore overwrites the walker's state from a snapshot taken on a walker
+// over a region of identical shape.
+func (w *Walker) Restore(s WalkerSnap) {
+	if len(s.Loops) != len(w.loops) || len(s.Cursors) != len(w.cursors) {
+		panic("workload: walker snapshot shape mismatch")
+	}
+	w.idx = s.Idx
+	copy(w.loops, s.Loops)
+	w.callStack = append(w.callStack[:0], s.CallStack...)
+	copy(w.cursors, s.Cursors)
+	copy(w.coldPage, s.ColdPage)
+	copy(w.coldLeft, s.ColdLeft)
+	copy(w.switchPos, s.SwitchPos)
+	w.Count = s.Count
+	w.ResetEvery = s.ResetEvery
+	w.rng.SetState(s.RNG)
+}
+
+// RNGState exposes the walker's generator state (used by tests).
+func (w *Walker) RNGState() [4]uint64 { return w.rng.State() }

@@ -19,12 +19,19 @@
 package specint
 
 import (
+	"encoding/gob"
+
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/rng"
 	"repro/internal/sys"
 	"repro/internal/workload"
 )
+
+func init() {
+	// The checkpoint layer serializes ScriptProgram.State as an interface.
+	gob.Register(&ProcState{})
+}
 
 // AppSpec parameterizes one benchmark model.
 type AppSpec struct {
@@ -135,57 +142,54 @@ func New(spec AppSpec, slot int, seed uint64) *workload.ScriptProgram {
 	w := workload.NewWalker(reg, r.Split(2))
 	w.ResetEvery = uint64(6 * spec.StaticInsts)
 
-	ph := phStartup
-	var ran uint64
-	readsLeft := spec.InputReads
-	opened := false
-	bursts := 0
-	spawn := 0
-	prng := r.Split(3)
+	ps := &ProcState{
+		ReadsLeft: spec.InputReads,
+		Prng:      r.Split(3),
+	}
 
 	next := func() workload.Step {
-		switch ph {
+		switch ps.Ph {
 		case phStartup:
 			// The very first activity is the shell's fork+exec of the
 			// benchmark (the paper's Figure 4 shows process creation and
 			// control filling much of the start-up syscall time).
-			if spawn == 0 {
-				spawn = 1
+			if ps.Spawn == 0 {
+				ps.Spawn = 1
 				return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 					Num: sys.SysFork, Resource: sys.ResProcess,
 				}}
 			}
-			if spawn == 1 {
-				spawn = 2
+			if ps.Spawn == 1 {
+				ps.Spawn = 2
 				return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 					Num: sys.SysExec, Resource: sys.ResProcess,
 				}}
 			}
-			if spawn == 2 {
-				spawn = 3
+			if ps.Spawn == 2 {
+				ps.Spawn = 3
 				return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 					Num: sys.SysSigaction,
 				}}
 			}
 			// Interleave compute with input-file reads and an occasional
 			// mmap, like a program parsing its inputs.
-			if ran >= spec.StartupInsts && readsLeft == 0 {
-				ph = phSteady
+			if ps.Ran >= spec.StartupInsts && ps.ReadsLeft == 0 {
+				ps.Ph = phSteady
 				return workload.Step{Kind: workload.StepRun, N: spec.SteadyBurst}
 			}
-			if readsLeft > 0 && prng.Bool(0.35) {
-				if !opened {
-					opened = true
+			if ps.ReadsLeft > 0 && ps.Prng.Bool(0.35) {
+				if !ps.Opened {
+					ps.Opened = true
 					return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 						Num: sys.SysOpen, Resource: sys.ResFile,
 					}}
 				}
-				readsLeft--
+				ps.ReadsLeft--
 				return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 					Num: sys.SysRead, Bytes: 8192, Resource: sys.ResFile,
 				}}
 			}
-			if prng.Bool(0.06) {
+			if ps.Prng.Bool(0.06) {
 				return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 					Num: sys.SysSmmap, Resource: sys.ResMemory,
 				}}
@@ -194,13 +198,13 @@ func New(spec AppSpec, slot int, seed uint64) *workload.ScriptProgram {
 			if n == 0 {
 				n = 1000
 			}
-			ran += n
+			ps.Ran += n
 			return workload.Step{Kind: workload.StepRun, N: n}
 		default:
-			bursts++
-			if spec.SteadyCallEvery > 0 && bursts%spec.SteadyCallEvery == 0 {
+			ps.Bursts++
+			if spec.SteadyCallEvery > 0 && ps.Bursts%spec.SteadyCallEvery == 0 {
 				// Rare steady-state syscalls (status checks, small reads).
-				if prng.Bool(0.5) {
+				if ps.Prng.Bool(0.5) {
 					return workload.Step{Kind: workload.StepSyscall, Req: sys.Request{
 						Num: sys.SysRead, Bytes: 4096, Resource: sys.ResFile,
 					}}
@@ -217,7 +221,22 @@ func New(spec AppSpec, slot int, seed uint64) *workload.ScriptProgram {
 		ProgName: spec.Name,
 		W:        w,
 		NextFn:   next,
+		Slot:     slot,
+		State:    ps,
 	}
+}
+
+// ProcState is one benchmark's mutable script state, exported (and
+// gob-registered) so the checkpoint layer can serialize it; the program
+// closures access it through a pointer published as ScriptProgram.State.
+type ProcState struct {
+	Ph        phase
+	Ran       uint64
+	ReadsLeft int
+	Opened    bool
+	Bursts    int
+	Spawn     int
+	Prng      *rng.Rand
 }
 
 // Programs builds the full multiprogrammed suite.

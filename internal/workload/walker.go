@@ -199,7 +199,9 @@ func (l *Limit) Next() (isa.Inst, bool) {
 type Tail struct {
 	G     Generator
 	Extra []isa.Inst
-	pos   int
+	// Pos is the index of the next Extra instruction (exported so the
+	// checkpoint layer can serialize a partially drained tail).
+	Pos int
 }
 
 // Next implements Generator.
@@ -210,9 +212,9 @@ func (t *Tail) Next() (isa.Inst, bool) {
 		}
 		t.G = nil
 	}
-	if t.pos < len(t.Extra) {
-		in := t.Extra[t.pos]
-		t.pos++
+	if t.Pos < len(t.Extra) {
+		in := t.Extra[t.Pos]
+		t.Pos++
 		return in, true
 	}
 	return isa.Inst{}, false
