@@ -1,18 +1,25 @@
 GO ?= go
 
-.PHONY: check build vet test race audit ckpt-smoke run experiments
+.PHONY: check build vet lint test race audit ckpt-smoke run experiments
 
-# check is the full verification gate: compile, vet, the whole test suite,
-# a fast race pass (Quick-scale simulations skip under -short, so the race
-# leg stays cheap while still covering the fault-injection paths), an
-# audited simulation leg, and a checkpoint save/restore round trip.
-check: build vet test race audit ckpt-smoke
+# check is the full verification gate: compile, vet, the determinism linter,
+# the whole test suite, a fast race pass (Quick-scale simulations skip under
+# -short, so the race leg stays cheap while still covering the
+# fault-injection paths), an audited simulation leg, and a checkpoint
+# save/restore round trip.
+check: build vet lint test race audit ckpt-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint enforces the determinism contract with the detlint analyzers
+# (maporder, walltime, snapshotcomplete, nogoroutine; see ANALYSIS.md).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/detlint ./internal/...
 
 test:
 	$(GO) test -timeout 30m ./...

@@ -1,0 +1,73 @@
+// Command detlint is the determinism and snapshot-coverage linter for this
+// repository. It runs the four analyzers of repro/internal/analysis —
+// maporder, walltime, snapshotcomplete, nogoroutine — over the given package
+// patterns and exits nonzero on any diagnostic. See ANALYSIS.md for the
+// determinism contract each analyzer enforces and the
+// //detlint:ignore <analyzer> <reason> exemption convention.
+//
+//	detlint ./internal/...          # the Makefile `lint` gate
+//	detlint -list                   # describe the analyzers
+//	detlint -only maporder ./...    # one analyzer
+//
+// Run it from the module root (it resolves patterns with `go list`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "describe the analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "detlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -33,6 +33,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -seeds must be at least 1 (got %d)\n", *seeds)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

@@ -1,0 +1,251 @@
+// Package analysis is the static-analysis framework behind cmd/detlint: a
+// small, self-contained reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass model on top of the standard go/ast and go/types stacks.
+//
+// The simulator's headline guarantee — bit-identical replay across seeds,
+// checkpoints, and fault-injected runs — rests on a determinism contract that
+// until this package was enforced only by golden tests after the fact.
+// PR 1 had to hand-fix a latent map-iteration-order bug in mem.ReleaseProcess,
+// and the checkpoint layer added in PR 2 silently drifts whenever a struct
+// grows a field without matching Snapshot/Restore lines. The four analyzers in
+// this package (maporder, walltime, snapshotcomplete, nogoroutine) turn those
+// failure classes into compile-time diagnostics; see ANALYSIS.md for the
+// contract each one enforces.
+//
+// The framework mirrors the x/tools API shape deliberately, but depends only
+// on the standard library (this build environment has no module proxy access),
+// loading type information for whole packages offline via `go list -export`
+// and the gc export-data importer.
+//
+// # Ignore directives
+//
+// A diagnostic is suppressed by a comment on the flagged line, or on the line
+// directly above it, of the form
+//
+//	//detlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a directive without one is itself reported. The
+// directive is scoped to a single line so every exemption stays next to the
+// code it excuses.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink for
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	dirs  fileDirectives
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Diagnostics on a line covered by a
+// matching //detlint:ignore directive are dropped by the runner.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Ignored reports whether a //detlint:ignore directive for this pass's
+// analyzer covers pos (same line or the line above). Analyzers use this for
+// declaration-level exemptions — e.g. snapshotcomplete skips a whole type
+// when its type declaration line carries the directive; plain per-diagnostic
+// suppression needs no explicit check because the runner applies it.
+func (p *Pass) Ignored(pos token.Pos) bool {
+	return p.dirs.covers(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
+// A Diagnostic is one finding, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// DirectiveName is the comment prefix of an ignore directive.
+const directivePrefix = "//detlint:ignore"
+
+// directive is one parsed //detlint:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// fileDirectives holds a package's ignore directives: indexed by file and
+// line for suppression lookups, plus a flat list in file order so walking
+// every directive is itself deterministic.
+type fileDirectives struct {
+	byLine map[string]map[int][]directive
+	all    []directive
+}
+
+func (fd fileDirectives) covers(analyzer string, pos token.Position) bool {
+	lines := fd.byLine[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.analyzer == analyzer && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts every //detlint:ignore comment of the files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) fileDirectives {
+	fd := fileDirectives{byLine: map[string]map[int][]directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				d := directive{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				name := d.pos.Filename
+				if fd.byLine[name] == nil {
+					fd.byLine[name] = map[int][]directive{}
+				}
+				fd.byLine[name][d.pos.Line] = append(fd.byLine[name][d.pos.Line], d)
+				fd.all = append(fd.all, d)
+			}
+		}
+	}
+	return fd
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// diagnostics, sorted by position. Diagnostics on lines covered by a valid
+// ignore directive are suppressed; malformed directives (unknown analyzer
+// name, or no reason) are reported under the analyzer name "detlint" so a
+// suppression can never silently rot.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// The whole suite counts as known even when only a subset runs
+	// (detlint -only): a directive for an analyzer that is merely switched
+	// off this invocation is not malformed.
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				dirs:      dirs,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				raw = append(raw, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(pkg.Files[0].Pos()),
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+		for _, d := range raw {
+			if dirs.covers(d.Analyzer, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+		for _, d := range dirs.all {
+			switch {
+			case !known[d.analyzer]:
+				out = append(out, Diagnostic{
+					Analyzer: "detlint",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", d.analyzer),
+				})
+			case d.reason == "":
+				out = append(out, Diagnostic{
+					Analyzer: "detlint",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("ignore directive for %q has no reason; write //detlint:ignore %s <why this is safe>", d.analyzer, d.analyzer),
+				})
+			}
+		}
+	}
+	return dedupe(out)
+}
+
+// dedupe drops repeated (analyzer, position, message) triples — a nested
+// map-range body, for example, is inspected once per enclosing loop — and
+// sorts by file position.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := d.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// Analyzers returns the full detlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, WallTime, SnapshotComplete, NoGoroutine}
+}

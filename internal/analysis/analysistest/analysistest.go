@@ -1,0 +1,204 @@
+// Package analysistest runs a detlint analyzer over fixture packages under
+// testdata/src and checks its diagnostics against expectations written in
+// the fixtures, mirroring the golang.org/x/tools/go/analysis/analysistest
+// convention (reimplemented on the standard library; see package analysis
+// for why no external modules are used).
+//
+// An expectation is a comment on the line a diagnostic should appear on:
+//
+//	keys = append(keys, k) // want `append to slice keys`
+//
+// The quoted text (backquoted or double-quoted Go string syntax) is a
+// regular expression matched against the diagnostic message. Multiple
+// expectations on one line match multiple diagnostics. Every diagnostic must
+// match an expectation and every expectation must be matched. Diagnostics
+// pass through the ignore-directive filter first, so fixtures exercise the
+// //detlint:ignore path too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes each fixture package (a path like "maporder/a" under
+// dir/src/) with a and reports mismatches via t. Fixture packages may import
+// the standard library; imports between fixtures are not supported.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(strings.ReplaceAll(fx, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a, fx)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(fixture))
+	pkg, err := loadFixture(pkgDir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", posString(d.Pos.Filename, d.Pos.Line), d.Analyzer, d.Message)
+		}
+	}
+	unmatchedKeys := make([]posKey, 0, len(wants))
+	for key := range wants {
+		unmatchedKeys = append(unmatchedKeys, key)
+	}
+	sort.Slice(unmatchedKeys, func(i, j int) bool {
+		a, b := unmatchedKeys[i], unmatchedKeys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.line < b.line
+	})
+	for _, key := range unmatchedKeys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", posString(key.file, key.line), w.re)
+			}
+		}
+	}
+}
+
+// loadFixture parses and type-checks one fixture directory as a package.
+func loadFixture(pkgDir, path string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", pkgDir)
+	}
+	pkg, err := analysis.CheckFixture(fset, path, files, keys(imports))
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+func posString(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts `// want "re" ...` expectations from the fixtures.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	out := map[posKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitLiterals(m[1]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitLiterals splits a want payload into Go string literals.
+func splitLiterals(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			break
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

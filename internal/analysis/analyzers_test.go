@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "maporder/a")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallTime,
+		"walltime/a",            // simulation package: flagged
+		"walltime/internal/rng", // seed boundary: exempt
+		"walltime/cmd/tool",     // entry point: exempt
+	)
+}
+
+func TestSnapshotComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SnapshotComplete,
+		"snapshotcomplete/complete", // full coverage incl. helper methods
+		"snapshotcomplete/missing",  // deliberately missing fields
+		"snapshotcomplete/exempt",   // field- and type-level directives
+		"snapshotcomplete/gob",      // whole-receiver encoder escape
+	)
+}
+
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoGoroutine,
+		"nogoroutine/pipeline", // core package: flagged
+		"nogoroutine/util",     // non-core package: allowed
+	)
+}
+
+// TestRepoIsClean runs the full analyzer suite over this repository's
+// internal/ tree, the same invocation as `make lint`. The simulator must stay
+// diagnostic-free: a finding here means someone reintroduced the
+// mem.ReleaseProcess bug class, dropped a Snapshot field, or added wall-clock
+// or goroutine machinery to the core.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./internal/..."})
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

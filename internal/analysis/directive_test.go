@@ -1,0 +1,123 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadSrc type-checks one in-memory file as a fixture package.
+func loadSrc(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	pkg, err := analysis.CheckFixture(fset, "fix", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+func runMapOrder(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	return analysis.Run([]*analysis.Package{loadSrc(t, src)}, []*analysis.Analyzer{analysis.MapOrder})
+}
+
+const flaggedLoop = `package fix
+
+func f(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k
+	}
+	return last
+}
+`
+
+func TestDirectiveSuppresses(t *testing.T) {
+	src := strings.Replace(flaggedLoop, "\t\tlast = k",
+		"\t\t//detlint:ignore maporder test reason\n\t\tlast = k", 1)
+	if diags := runMapOrder(t, src); len(diags) != 0 {
+		t.Fatalf("directive with reason should suppress; got %v", diags)
+	}
+}
+
+func TestDirectiveSameLine(t *testing.T) {
+	src := strings.Replace(flaggedLoop, "last = k",
+		"last = k //detlint:ignore maporder test reason", 1)
+	if diags := runMapOrder(t, src); len(diags) != 0 {
+		t.Fatalf("same-line directive should suppress; got %v", diags)
+	}
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	src := strings.Replace(flaggedLoop, "\t\tlast = k",
+		"\t\t//detlint:ignore maporder\n\t\tlast = k", 1)
+	diags := runMapOrder(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("want original diagnostic + malformed-directive report, got %v", diags)
+	}
+	var sawOriginal, sawMalformed bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "maporder":
+			sawOriginal = true
+		case "detlint":
+			sawMalformed = true
+			if !strings.Contains(d.Message, "no reason") {
+				t.Errorf("malformed-directive message = %q", d.Message)
+			}
+		}
+	}
+	if !sawOriginal || !sawMalformed {
+		t.Errorf("reason-less directive must not suppress and must be reported; got %v", diags)
+	}
+}
+
+func TestDirectiveUnknownAnalyzer(t *testing.T) {
+	src := strings.Replace(flaggedLoop, "\t\tlast = k",
+		"\t\t//detlint:ignore bogus some reason\n\t\tlast = k", 1)
+	diags := runMapOrder(t, src)
+	var sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer == "detlint" && strings.Contains(d.Message, `unknown analyzer "bogus"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("directive naming an unknown analyzer must be reported; got %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	diags := runMapOrder(t, flaggedLoop)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	if got := diags[0].String(); !strings.HasPrefix(got, "fix.go:6:3: maporder: ") {
+		t.Errorf("String() = %q, want file:line:col: analyzer: prefix", got)
+	}
+}
+
+func TestAnalyzersSuite(t *testing.T) {
+	all := analysis.Analyzers()
+	want := []string{"maporder", "walltime", "snapshotcomplete", "nogoroutine"}
+	if len(all) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

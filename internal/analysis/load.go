@@ -1,0 +1,180 @@
+// Offline package loading for the detlint analyzers.
+//
+// The usual way to feed go/analysis tools is golang.org/x/tools/go/packages;
+// this environment builds with the standard library only, so we do the same
+// job directly: one `go list -deps -export -json` invocation enumerates the
+// target packages and compiles export data for every dependency into the
+// build cache, then each target is parsed from source and type-checked with
+// the gc export-data importer resolving its imports. Everything works without
+// network access.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the package import path ("repro/internal/mem").
+	Path string
+	// Fset positions every file of every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the JSON
+// package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matched by patterns, resolved relative to
+// moduleDir (the directory holding go.mod). Only non-test files are analyzed:
+// the determinism contract binds the simulator, and the tests that verify the
+// contract legitimately use wall-clock timeouts and unsorted scratch state.
+func Load(moduleDir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(moduleDir, append([]string{"-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	return checkAll(fset, targets, exports)
+}
+
+// checkAll parses and type-checks each target package against the export map.
+func checkAll(fset *token.FileSet, targets []*listedPackage, exports map[string]string) ([]*Package, error) {
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var out []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, info, err := check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// CheckFixture type-checks one already-parsed fixture package whose imports
+// (standard library only) are resolved through `go list -export` run in the
+// current directory. It exists for the analysistest harness.
+func CheckFixture(fset *token.FileSet, path string, files []*ast.File, imports []string) (*Package, error) {
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(".", append([]string{"-deps", "-export", "-json=ImportPath,Export,Error"}, imports...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (fixtures may import the standard library only)", path)
+		}
+		return os.Open(f)
+	})
+	pkg, info, err := check(fset, path, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// check type-checks one package's parsed files.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose bodies perform
+// order-sensitive effects — the exact class of the PR 1 mem.ReleaseProcess
+// bug, where the page-frame free list was rebuilt in Go's randomized map
+// iteration order and every later allocation diverged between runs.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: `flag order-dependent effects inside range-over-map loops
+
+Go randomizes map iteration order, so a map range whose body mutates state
+outside the loop replays differently run to run. The analyzer flags, inside
+any range over a map: appends to slices declared outside the loop (unless the
+slice is sorted immediately after the loop in the same block — the standard
+sorted-keys idiom), plain writes to outer variables, fields, or loop-carried
+slice indices, method calls on outer receivers (event emission), and channel
+sends. Commutative accumulation (+=, -=, *=, |=, &=, ^= and ++/-- on integer
+types) is order-independent and allowed. Rewrite flagged loops to iterate
+sorted keys, or annotate provably commutative ones with
+//detlint:ignore maporder <reason>.`,
+	Run: runMapOrder,
+}
+
+// effectKind classifies one order-sensitive operation in a loop body.
+type effectKind int
+
+const (
+	effectWrite effectKind = iota
+	effectAppend
+	effectCall
+	effectSend
+)
+
+type effect struct {
+	kind effectKind
+	pos  token.Pos
+	msg  string
+	obj  types.Object // for effectAppend: the slice being grown
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		blocks := stmtBlocks(file)
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass, rs.X) {
+				return true
+			}
+			effects := collectEffects(pass, rs)
+			effects = suppressSortedAppends(pass, rs, effects, blocks, parents)
+			for _, e := range effects {
+				pass.Reportf(e.pos, "%s inside range over map %s is iteration-order dependent; iterate sorted keys, or annotate //detlint:ignore maporder <reason> if provably commutative", e.msg, exprString(pass, rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapType reports whether e has map type.
+func isMapType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// stmtBlocks maps every statement to its enclosing statement list and index,
+// so the sorted-keys idiom check can look at what follows a loop.
+type stmtListPos struct {
+	list []ast.Stmt
+	idx  int
+}
+
+func stmtBlocks(file *ast.File) map[ast.Stmt]stmtListPos {
+	m := map[ast.Stmt]stmtListPos{}
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			m[s] = stmtListPos{list: list, idx: i}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return m
+}
+
+// collectEffects walks the body of a map range and returns every
+// order-sensitive operation.
+func collectEffects(pass *Pass, rs *ast.RangeStmt) []effect {
+	local := localObjects(pass, rs)
+	isLocal := func(obj types.Object) bool {
+		if obj == nil {
+			return true // unresolved: stay quiet
+		}
+		return local[obj]
+	}
+	var effects []effect
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if e, bad := classifyWrite(pass, lhs, rhs, n.Tok, isLocal); bad {
+					effects = append(effects, e)
+				}
+			}
+		case *ast.IncDecStmt:
+			// x++ is x += 1: commutative on integers.
+			tok := token.ADD_ASSIGN
+			if n.Tok == token.DEC {
+				tok = token.SUB_ASSIGN
+			}
+			if e, bad := classifyWrite(pass, n.X, nil, tok, isLocal); bad {
+				effects = append(effects, e)
+			}
+		case *ast.CallExpr:
+			if e, bad := classifyCall(pass, n, isLocal); bad {
+				effects = append(effects, e)
+			}
+		case *ast.SendStmt:
+			effects = append(effects, effect{kind: effectSend, pos: n.Pos(), msg: "channel send"})
+		}
+		return true
+	})
+	return effects
+}
+
+// localObjects returns every object declared within the range statement
+// (the key/value variables and anything declared in the body).
+func localObjects(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	local := map[types.Object]bool{}
+	ast.Inspect(rs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// classifyWrite decides whether an assignment target is order-sensitive.
+func classifyWrite(pass *Pass, lhs, rhs ast.Expr, tok token.Token, isLocal func(types.Object) bool) (effect, bool) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return effect{}, false
+	}
+	if commutativeAssign(pass, lhs, tok) {
+		return effect{}, false
+	}
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if isLocal(obj) {
+			return effect{}, false
+		}
+		// s = append(s, ...) grows an outer slice: the canonical bug shape,
+		// but also the first half of the sorted-keys idiom — kept separate so
+		// the caller can recognize a sort following the loop.
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+			return effect{kind: effectAppend, pos: lhs.Pos(), msg: "append to slice " + lhs.Name + " declared outside the loop", obj: obj}, true
+		}
+		return effect{kind: effectWrite, pos: lhs.Pos(), msg: "write to " + lhs.Name + " declared outside the loop"}, true
+	case *ast.IndexExpr:
+		baseT := pass.TypesInfo.TypeOf(lhs.X)
+		if baseT != nil {
+			if _, ok := baseT.Underlying().(*types.Map); ok {
+				return effect{}, false // keyed map write: order-independent per key
+			}
+		}
+		if exprOnlyUses(pass, lhs.Index, isLocal) {
+			return effect{}, false // s[k] keyed by the loop variable
+		}
+		return effect{kind: effectWrite, pos: lhs.Pos(), msg: "write to " + exprString(pass, lhs.X) + " indexed by loop-carried state"}, true
+	case *ast.SelectorExpr:
+		root := rootIdent(lhs)
+		if root == nil || isLocal(objectOf(pass, root)) {
+			return effect{}, false
+		}
+		// s.Field = append(s.Field, …): field-targeted half of the
+		// sorted-keys idiom, keyed by the field object so a following
+		// sort.Slice(s.Field, …) can clear it.
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+			if fieldObj := pass.TypesInfo.Uses[lhs.Sel]; fieldObj != nil {
+				return effect{kind: effectAppend, pos: lhs.Pos(), msg: "append to " + exprString(pass, lhs) + " declared outside the loop", obj: fieldObj}, true
+			}
+		}
+		return effect{kind: effectWrite, pos: lhs.Pos(), msg: "write to field of " + root.Name + " declared outside the loop"}, true
+	case *ast.StarExpr:
+		if root := rootIdent(lhs.X); root != nil && !isLocal(objectOf(pass, root)) {
+			return effect{kind: effectWrite, pos: lhs.Pos(), msg: "write through pointer " + root.Name + " declared outside the loop"}, true
+		}
+		return effect{}, false
+	}
+	return effect{}, false
+}
+
+// commutativeAssign reports whether tok applied to lhs's type is
+// order-independent: +=, -=, *=, |=, &=, ^=, &^= over integers commute (all
+// are commutative and associative modulo 2^n), while the same operators on
+// floats (non-associative rounding) or strings (concatenation) do not.
+func commutativeAssign(pass *Pass, lhs ast.Expr, tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+	default:
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// classifyCall flags calls that can observe iteration order: method calls on
+// receivers declared outside the loop (event emission, collection mutation).
+// Calls to package-level functions and builtins other than append are not
+// modeled — a known precision limit documented in ANALYSIS.md.
+func classifyCall(pass *Pass, call *ast.CallExpr, isLocal func(types.Object) bool) (effect, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return effect{}, false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return effect{}, false // package-qualified function, field closure, …
+	}
+	root := rootIdent(sel.X)
+	if root == nil || isLocal(objectOf(pass, root)) {
+		return effect{}, false
+	}
+	if isOrderFreeMethod(s) {
+		return effect{}, false
+	}
+	return effect{kind: effectCall, pos: call.Pos(), msg: "call to method " + exprString(pass, sel) + " on " + root.Name + " declared outside the loop"}, true
+}
+
+// isOrderFreeMethod exempts methods that cannot leak iteration order into
+// simulation state even on an outer receiver: pure read accessors cannot be
+// distinguished from mutators without whole-program analysis, so only a tiny
+// hand-audited set is listed.
+func isOrderFreeMethod(s *types.Selection) bool {
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	// Value receivers cannot mutate the receiver; a value-receiver method
+	// with no pointer arguments is effect-free on the outer object.
+	if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if _, isPtr := sig.Params().At(i).Type().Underlying().(*types.Pointer); isPtr {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// parentMap records each node's syntactic parent, so the sorted-keys check
+// can look at statements following a loop in any enclosing block (a nested
+// range over an inner map is typically sorted once, after the outer loop).
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// followingStmts returns the statements that execute after rs completes, in
+// its own block and every enclosing block out to the function boundary.
+func followingStmts(rs ast.Stmt, blocks map[ast.Stmt]stmtListPos, parents map[ast.Node]ast.Node) []ast.Stmt {
+	var out []ast.Stmt
+	var cur ast.Node = rs
+	for cur != nil {
+		if s, ok := cur.(ast.Stmt); ok {
+			if at, ok := blocks[s]; ok {
+				out = append(out, at.list[at.idx+1:]...)
+			}
+		}
+		switch cur.(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return out
+		}
+		cur = parents[cur]
+	}
+	return out
+}
+
+// suppressSortedAppends removes append effects that feed the standard
+// sorted-keys idiom: every flagged operation is an append to outer slices
+// (or slice fields), and each appended-to object is passed to a sort.* or
+// slices.Sort* call in a statement after the loop.
+func suppressSortedAppends(pass *Pass, rs *ast.RangeStmt, effects []effect, blocks map[ast.Stmt]stmtListPos, parents map[ast.Node]ast.Node) []effect {
+	if len(effects) == 0 {
+		return effects
+	}
+	for _, e := range effects {
+		if e.kind != effectAppend || e.obj == nil {
+			return effects
+		}
+	}
+	sorted := map[types.Object]bool{}
+	for _, s := range followingStmts(rs, blocks, parents) {
+		call, ok := callStmt(s)
+		if !ok {
+			continue
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := unparen(sel.X).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); ok {
+			if p := pn.Imported().Path(); p == "sort" || p == "slices" {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Uses[id]; obj != nil {
+								sorted[obj] = true
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	var out []effect
+	for _, e := range effects {
+		if !sorted[e.obj] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// callStmt unwraps an expression statement holding a call.
+func callStmt(s ast.Stmt) (*ast.CallExpr, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	return call, ok
+}
+
+// ------------------------------------------------------------ small helpers
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/deref chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its object (use or definition).
+func objectOf(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// exprOnlyUses reports whether every identifier in e satisfies ok (used for
+// "is this index derived only from loop-local state").
+func exprOnlyUses(pass *Pass, e ast.Expr, ok func(types.Object) bool) bool {
+	all := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, okID := n.(*ast.Ident); okID && id.Name != "_" {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if _, isConst := obj.(*types.Const); isConst {
+					return true
+				}
+				if _, isFunc := obj.(*types.Func); isFunc {
+					return true
+				}
+				if !ok(obj) {
+					all = false
+				}
+			}
+		}
+		return true
+	})
+	return all
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(pass *Pass, e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(pass, e.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprString(pass, e.X)
+	case *ast.CallExpr:
+		return exprString(pass, e.Fun) + "(…)"
+	default:
+		return "expression"
+	}
+}

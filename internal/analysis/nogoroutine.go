@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoGoroutine forbids goroutines and channel machinery inside the
+// cycle-level simulation core. The engine is a single-threaded lock-step
+// loop; any scheduling by the Go runtime (goroutine interleaving, channel
+// handoff — unbuffered ops in particular block on the peer) would inject
+// host-dependent ordering into the simulated machine and break replay.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: `forbid go statements and channel operations in the cycle-level core
+
+The packages that advance simulated time (pipeline, kernel, core, mem, cache,
+tlb, bpred) must be straight-line deterministic code: no go statements, no
+channel makes/sends/receives/selects. Event queues in the core are explicit
+slices and heaps, which checkpoint and replay exactly. Concurrency belongs in
+cmd/ wrappers around whole simulations, never inside one.`,
+	Run: runNoGoroutine,
+}
+
+// corePackages are the path segments naming the cycle-level core.
+var corePackages = map[string]bool{
+	"pipeline": true, "kernel": true, "core": true, "mem": true,
+	"cache": true, "tlb": true, "bpred": true,
+}
+
+func runNoGoroutine(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !corePackages[path[strings.LastIndex(path, "/")+1:]] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in cycle-level package %s: runtime scheduling breaks deterministic replay", pass.Pkg.Name())
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in cycle-level package %s: use an explicit slice or heap queue", pass.Pkg.Name())
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(), "channel receive in cycle-level package %s: use an explicit slice or heap queue", pass.Pkg.Name())
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in cycle-level package %s: runtime scheduling breaks deterministic replay", pass.Pkg.Name())
+			case *ast.CallExpr:
+				if isBuiltin(pass, n.Fun, "make") && len(n.Args) > 0 {
+					if t := pass.TypesInfo.TypeOf(n.Args[0]); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							pass.Reportf(n.Pos(), "channel construction in cycle-level package %s: channel handoff order is host-dependent", pass.Pkg.Name())
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in cycle-level package %s: receive order is host-dependent", pass.Pkg.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Fixture for the maporder analyzer: order-sensitive effects inside
+// range-over-map loops are flagged; commutative accumulation, keyed writes,
+// and the sorted-keys idiom are not.
+package a
+
+import "sort"
+
+type emitter struct{ n int }
+
+func (e *emitter) Emit(v int) { e.n += v }
+
+type point struct{ x int }
+
+func (p point) Dist() int { return p.x }
+
+// rebuild is the PR 1 mem.ReleaseProcess bug shape: the free list comes out
+// in map iteration order.
+func rebuild(m map[uint64]uint64) []uint64 {
+	var free []uint64
+	for pfn := range m {
+		free = append(free, pfn) // want `append to slice free declared outside the loop`
+	}
+	return free
+}
+
+// sortedKeys is the standard deterministic idiom: append then sort.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fieldSorted is the field-targeted variant (cache/mem snapshot code shape).
+type snap struct{ Items []int }
+
+func (s *snap) fill(m map[int]int) {
+	for k := range m {
+		s.Items = append(s.Items, k)
+	}
+	sort.Ints(s.Items)
+}
+
+// nested sorts once after the outer loop; both ranges stay quiet.
+func nested(outer map[int]map[int]int) []int {
+	var all []int
+	for _, inner := range outer {
+		for k := range inner {
+			all = append(all, k)
+		}
+	}
+	sort.Ints(all)
+	return all
+}
+
+func plainWrite(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want `write to last declared outside the loop`
+	}
+	return last
+}
+
+// commutative integer accumulation is order-independent.
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+		total++
+	}
+	return total
+}
+
+// float accumulation is NOT commutative (rounding depends on order).
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `write to sum declared outside the loop`
+	}
+	return sum
+}
+
+// keyed writes land on the same element regardless of visit order.
+func keyedWrites(m map[int]int, out map[int]int, s []int) {
+	for k, v := range m {
+		out[k] = v
+		s[k] = v
+	}
+}
+
+// loop-carried index: element position depends on iteration order.
+func loopCarried(m map[int]int, s []int) {
+	i := 0
+	for _, v := range m {
+		s[i] = v // want `write to s indexed by loop-carried state`
+		i++
+	}
+}
+
+func fieldWrite(m map[int]int, e *emitter) {
+	for k := range m {
+		e.n = k // want `write to field of e declared outside the loop`
+	}
+}
+
+func ptrWrite(m map[int]int, p *int) {
+	for k := range m {
+		*p = k // want `write through pointer p declared outside the loop`
+	}
+}
+
+// method calls on outer receivers can observe order (event emission).
+func emits(m map[int]int, e *emitter) {
+	for _, v := range m {
+		e.Emit(v) // want `call to method e.Emit on e declared outside the loop`
+	}
+}
+
+// value-receiver methods with no pointer params cannot mutate the receiver.
+func valueMethod(m map[int]int, p point) int {
+	n := 0
+	for range m {
+		n += p.Dist()
+	}
+	return n
+}
+
+func send(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send`
+	}
+}
+
+// ignored exercises the //detlint:ignore suppression path.
+func ignored(m map[string]int) string {
+	last := ""
+	for k := range m {
+		//detlint:ignore maporder fixture exercising the suppression path
+		last = k
+	}
+	return last
+}

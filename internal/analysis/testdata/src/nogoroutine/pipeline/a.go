@@ -1,0 +1,26 @@
+// Fixture for nogoroutine: the package's path ends in a cycle-level core
+// segment ("pipeline"), so every goroutine and channel construct is flagged.
+package pipeline
+
+func spawn(f func()) {
+	go f() // want `go statement in cycle-level package pipeline`
+}
+
+func channels(n int) {
+	ch := make(chan int, n) // want `channel construction in cycle-level package pipeline`
+	ch <- 1                 // want `channel send in cycle-level package pipeline`
+	v := <-ch               // want `channel receive in cycle-level package pipeline`
+	_ = v
+	for w := range ch { // want `range over channel in cycle-level package pipeline`
+		_ = w
+	}
+}
+
+func choose(a, b chan int) int {
+	select { // want `select statement in cycle-level package pipeline`
+	case v := <-a: // want `channel receive in cycle-level package pipeline`
+		return v
+	case v := <-b: // want `channel receive in cycle-level package pipeline`
+		return v
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture for nogoroutine: packages outside the cycle-level core may use
+// goroutines and channels freely. No diagnostics expected.
+package util
+
+func fanout(n int) chan int {
+	ch := make(chan int, n)
+	go func() { ch <- n }()
+	return ch
+}

@@ -1,0 +1,44 @@
+// Fixture for snapshotcomplete: fully-covered types produce no diagnostics,
+// including coverage through same-type helper methods.
+package complete
+
+type Counter struct {
+	ticks uint64
+	hits  uint64
+}
+
+type CounterSnap struct {
+	Ticks, Hits uint64
+}
+
+func (c *Counter) Snapshot() CounterSnap {
+	return CounterSnap{Ticks: c.ticks, Hits: c.hits}
+}
+
+func (c *Counter) Restore(s CounterSnap) {
+	c.ticks = s.Ticks
+	c.hits = s.Hits
+}
+
+// Split covers one field through a helper method on the same type.
+type Split struct {
+	x, y int
+}
+
+func (s *Split) Snapshot() [2]int { return [2]int{s.x, s.snapY()} }
+
+func (s *Split) snapY() int { return s.y }
+
+func (s *Split) Restore(v [2]int) {
+	s.x = v[0]
+	s.restY(v[1])
+}
+
+func (s *Split) restY(v int) { s.y = v }
+
+// NoPair has no Restore method: not part of the checkpoint contract.
+type NoPair struct {
+	scratch int
+}
+
+func (n *NoPair) Snapshot() int { return 0 }

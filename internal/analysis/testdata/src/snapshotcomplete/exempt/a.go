@@ -1,0 +1,29 @@
+// Fixture for snapshotcomplete exemptions: field-level and type-level
+// //detlint:ignore directives suppress coverage requirements.
+package exempt
+
+type Tagged struct {
+	data []int
+	name string //detlint:ignore snapshotcomplete label fixed at construction
+}
+
+type TaggedSnap struct {
+	Data []int
+}
+
+func (t *Tagged) Snapshot() TaggedSnap {
+	return TaggedSnap{Data: append([]int(nil), t.data...)}
+}
+
+func (t *Tagged) Restore(s TaggedSnap) {
+	t.data = append(t.data[:0], s.Data...)
+}
+
+//detlint:ignore snapshotcomplete scratch type whose state is rebuilt each run
+type Whole struct {
+	x int
+}
+
+func (w *Whole) Snapshot() int { return 0 }
+
+func (w *Whole) Restore(int) {}

@@ -1,0 +1,53 @@
+// Fixture for snapshotcomplete: a deliberately missing field is flagged on
+// its declaration line, for the method(s) that fail to reference it.
+package missing
+
+type Core struct {
+	cycles uint64
+	pc     uint64
+	phase  uint8 // want `field Core\.phase is not referenced in Snapshot or Restore`
+}
+
+type CoreSnap struct {
+	Cycles, PC uint64
+}
+
+func (c *Core) Snapshot() CoreSnap {
+	return CoreSnap{Cycles: c.cycles, PC: c.pc}
+}
+
+func (c *Core) Restore(s CoreSnap) {
+	c.cycles = s.Cycles
+	c.pc = s.PC
+}
+
+// Half persists b but forgets to put it back.
+type Half struct {
+	a uint64
+	b uint64 // want `field Half\.b is not referenced in Restore`
+}
+
+type HalfSnap struct {
+	A, B uint64
+}
+
+func (h *Half) Snapshot() HalfSnap { return HalfSnap{A: h.a, B: h.b} }
+
+func (h *Half) Restore(s HalfSnap) { h.a = s.A }
+
+// Machine uses the Restore-prefixed variant (kernel.RestoreState shape).
+type Machine struct {
+	mode int
+	seq  uint64 // want `field Machine\.seq is not referenced in RestoreState`
+}
+
+type MachineSnap struct {
+	Mode int
+	Seq  uint64
+}
+
+func (m *Machine) Snapshot() MachineSnap {
+	return MachineSnap{Mode: m.mode, Seq: m.seq}
+}
+
+func (m *Machine) RestoreState(s MachineSnap) { m.mode = s.Mode }

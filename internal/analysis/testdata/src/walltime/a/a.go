@@ -1,0 +1,31 @@
+// Fixture for the walltime analyzer: wall-clock reads and global math/rand
+// are flagged in simulation packages; constants and types from package time
+// are fine.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `math/rand\.Intn uses the process-global random source`
+}
+
+// Durations and time constants do not read the clock.
+func budget() time.Duration {
+	return 3 * time.Second
+}

@@ -1,0 +1,10 @@
+// Fixture: cmd/ entry points may use wall-clock supervision budgets. No
+// diagnostics expected.
+package main
+
+import "time"
+
+func main() {
+	deadline := time.Now().Add(time.Minute)
+	_ = deadline
+}

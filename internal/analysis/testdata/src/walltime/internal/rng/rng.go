@@ -1,0 +1,7 @@
+// Fixture: packages under internal/rng are the seed boundary and may read
+// the wall clock. No diagnostics expected.
+package rng
+
+import "time"
+
+func WallSeed() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallTime forbids wall-clock and globally-seeded randomness in simulation
+// code. Simulation time is the cycle counter and every random stream flows
+// from the seeded generators in repro/internal/rng; a single time.Now or
+// global math/rand call makes two same-seed runs diverge.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: `forbid wall-clock time and global math/rand outside internal/rng and cmd/
+
+time.Now, time.Since, time.Tick and friends read the host clock; package-level
+math/rand functions draw from a process-global, unseeded source. Either one
+breaks bit-identical replay. Simulation code must use the cycle counter for
+time and seeded repro/internal/rng streams for randomness. The rng package
+itself and the cmd/ entry points (flag parsing, wall-clock experiment
+timeouts) are exempt by path.`,
+	Run: runWallTime,
+}
+
+// wallClockFuncs are the time package functions that read the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true, "After": true,
+	"AfterFunc": true, "NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+// walltimeExempt reports whether a package path may touch the wall clock:
+// the seeded rng package (it documents the boundary) and command entry
+// points, where wall-clock supervision budgets are legitimate.
+func walltimeExempt(path string) bool {
+	return strings.Contains(path, "internal/rng") ||
+		strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/cmd/")
+}
+
+func runWallTime(pass *Pass) error {
+	if walltimeExempt(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); path {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation time is the cycle counter (deterministic replay contract, see ANALYSIS.md)", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(), "%s.%s uses the process-global random source; use a seeded repro/internal/rng stream instead", path, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -85,7 +85,7 @@ type Predictor struct {
 
 	// OmitPrivileged makes privileged lookups perfect and stateless,
 	// implementing Table 9's user-only measurement.
-	OmitPrivileged bool
+	OmitPrivileged bool //detlint:ignore snapshotcomplete configuration set at assembly, not mutable simulation state
 }
 
 // New returns a predictor for nContexts hardware contexts. Counters start

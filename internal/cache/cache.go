@@ -45,12 +45,12 @@ type line struct {
 // Cache is one level of the hierarchy (tags + metadata only; the simulator
 // does not carry data).
 type Cache struct {
-	cfg       Config
-	sets      int
+	cfg       Config //detlint:ignore snapshotcomplete configuration fixed at construction
+	sets      int    //detlint:ignore snapshotcomplete geometry derived from cfg at construction
 	lines     []line // sets × ways, row-major
 	tick      uint64
 	tracker   *conflict.Tracker
-	lineShift uint
+	lineShift uint //detlint:ignore snapshotcomplete geometry derived from cfg at construction
 
 	// Accesses and Misses are indexed by accessor privilege (0 user, 1 kernel).
 	Accesses [2]uint64

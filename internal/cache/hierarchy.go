@@ -104,7 +104,7 @@ func (m *mshr) reserve(la, now, ready uint64) bool {
 
 // Hierarchy couples the three caches with bus and memory timing.
 type Hierarchy struct {
-	Cfg HierConfig
+	Cfg HierConfig //detlint:ignore snapshotcomplete configuration fixed at construction
 	L1I *Cache
 	L1D *Cache
 	L2  *Cache
@@ -118,7 +118,7 @@ type Hierarchy struct {
 	// complete as ideal hits without touching any cache state. It
 	// implements the paper's Table 9 "Apache only" measurement, where OS
 	// references to the hardware structures are omitted.
-	OmitPrivileged bool
+	OmitPrivileged bool //detlint:ignore snapshotcomplete configuration set at assembly, not mutable simulation state
 
 	// BusTransactions counts memory-bus line transfers (the paper's DMA
 	// discussion is phrased in bus transactions).
@@ -276,7 +276,7 @@ func (h *Hierarchy) MSHRStalls(level string) uint64 {
 // buffer and drain to the data cache at one per cycle; a full buffer stalls
 // retirement.
 type StoreBuffer struct {
-	capacity int
+	capacity int //detlint:ignore snapshotcomplete geometry fixed at construction
 	// entries holds the drain-completion cycle of each buffered store.
 	entries []uint64
 	// FullStalls counts stores rejected because the buffer was full.

@@ -331,6 +331,12 @@ func TestOptionsValidateLimits(t *testing.T) {
 		{"tick-reasonable", core.Options{CyclesPer10ms: 100_000}, true},
 		{"negative-clients", core.Options{Clients: -2}, false},
 		{"bad-hit-rate", core.Options{BufferCacheHitRate: 1.5}, false},
+		{"seed-partitions-default", core.Options{SeedPartitions: 0}, true},
+		{"seed-partitions-explicit", core.Options{SeedPartitions: 5}, true},
+		{"seed-partitions-extra", core.Options{SeedPartitions: 8}, true},
+		{"seed-partitions-negative", core.Options{SeedPartitions: -1}, false},
+		{"seed-partitions-aliasing", core.Options{SeedPartitions: 4}, false},
+		{"seed-partitions-one", core.Options{SeedPartitions: 1}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

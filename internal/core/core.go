@@ -85,6 +85,30 @@ type Options struct {
 	// Faults configures fault injection (zero value = disabled; a
 	// disabled configuration perturbs nothing).
 	Faults faults.Config
+	// SeedPartitions is the number of derived RNG seed partitions carved
+	// out of Seed, one per subsystem stream (kernel, SPECInt, network,
+	// Apache, faults), spaced seedStride apart so the streams never
+	// collide. 0 selects the default (seedPartitionCount); Validate
+	// rejects negative counts and any explicit count smaller than the
+	// number of subsystems, which would alias two streams.
+	SeedPartitions int
+}
+
+// Seed-partition indices name the derived RNG streams carved out of
+// Options.Seed (the kernel itself is partition 0); seedStride spaces them.
+const (
+	seedPartitionSPECInt = iota + 1
+	seedPartitionNetwork
+	seedPartitionApache
+	seedPartitionFaults
+	seedPartitionCount
+)
+
+const seedStride = 101
+
+// subseed returns the derived seed of partition p.
+func (o Options) subseed(p int) uint64 {
+	return o.Seed + uint64(p)*seedStride
 }
 
 // MaxContexts is the hardware context ceiling: the paper's SMT has 8
@@ -117,6 +141,12 @@ func (o Options) Validate() error {
 	}
 	if o.BufferCacheHitRate < 0 || o.BufferCacheHitRate > 1 {
 		return fmt.Errorf("core: BufferCacheHitRate %v outside [0,1]", o.BufferCacheHitRate)
+	}
+	if o.SeedPartitions < 0 {
+		return fmt.Errorf("core: negative SeedPartitions %d", o.SeedPartitions)
+	}
+	if o.SeedPartitions > 0 && o.SeedPartitions < seedPartitionCount {
+		return fmt.Errorf("core: SeedPartitions %d is fewer than the %d subsystem streams (kernel, specint, network, apache, faults)", o.SeedPartitions, seedPartitionCount)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
@@ -201,7 +231,7 @@ func assemble(o Options) (*Simulator, kernel.Config) {
 		fcfg := o.Faults
 		if fcfg.Seed == 0 {
 			// Derive a replayable fault seed from the simulation seed.
-			fcfg.Seed = o.Seed + 404
+			fcfg.Seed = o.subseed(seedPartitionFaults)
 		}
 		sim.Faults = faults.NewInjector(fcfg)
 		k.SetFaults(sim.Faults)
@@ -214,7 +244,7 @@ func assemble(o Options) (*Simulator, kernel.Config) {
 func NewSPECInt(o Options) *Simulator {
 	sim, _ := assemble(o)
 	sim.Workload = "specint"
-	for _, p := range specint.Programs(o.Seed + 101) {
+	for _, p := range specint.Programs(o.subseed(seedPartitionSPECInt)) {
 		sim.Programs = append(sim.Programs, p)
 		sim.Kernel.AddProgram(p)
 	}
@@ -228,7 +258,7 @@ func NewApache(o Options) *Simulator {
 	sim.Workload = "apache"
 
 	ncfg := netsim.DefaultConfig()
-	ncfg.Seed = o.Seed + 202
+	ncfg.Seed = o.subseed(seedPartitionNetwork)
 	if o.Clients > 0 {
 		ncfg.Clients = o.Clients
 	}
@@ -243,7 +273,7 @@ func NewApache(o Options) *Simulator {
 	}
 
 	acfg := apache.DefaultConfig()
-	acfg.Seed = o.Seed + 303
+	acfg.Seed = o.subseed(seedPartitionApache)
 	if o.ServerProcesses > 0 {
 		acfg.Processes = o.ServerProcesses
 	}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -52,6 +53,9 @@ type runner struct {
 var registry = map[string]runner{}
 
 func register(id, title string, fn func(sc Scale, seed uint64) Result) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate experiment id " + strconv.Quote(id))
+	}
 	registry[id] = runner{title: title, fn: fn}
 }
 

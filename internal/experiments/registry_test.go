@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegisterDuplicatePanics guards the registry against two experiments
+// silently shadowing each other under one id: before this check, the later
+// init() would overwrite the earlier registration and the lost experiment
+// would simply vanish from `experiments -list`.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	ids := IDs()
+	if len(ids) == 0 {
+		t.Fatal("registry is empty")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("register() with a duplicate id did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, ids[0]) {
+			t.Fatalf("panic message %v does not name the duplicate id %q", r, ids[0])
+		}
+	}()
+	register(ids[0], "duplicate", func(sc Scale, seed uint64) Result { return Result{} })
+}

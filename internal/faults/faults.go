@@ -137,7 +137,7 @@ func (c Config) withDefaults() Config {
 // draws from its own stream so that, e.g., enabling crashes does not
 // perturb which network frames are dropped.
 type Injector struct {
-	Cfg Config
+	Cfg Config //detlint:ignore snapshotcomplete configuration fixed at construction
 
 	netRng  *rng.Rand
 	procRng *rng.Rand

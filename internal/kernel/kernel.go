@@ -144,16 +144,16 @@ func (t *Thread) TID() uint32 { return t.tid }
 
 // Kernel implements pipeline.Feed.
 type Kernel struct {
-	cfg Config
+	cfg Config //detlint:ignore snapshotcomplete configuration fixed at construction
 	rng *rng.Rand
 
 	Mem *mem.Memory
 
 	// Hardware hooks, wired after pipeline construction.
-	itlb    *tlb.TLB
-	dtlb    *tlb.TLB
-	hier    cacheInvalidator
-	hierDMA dmaSink
+	itlb    *tlb.TLB         //detlint:ignore snapshotcomplete hardware wiring re-attached by core assembly on restore
+	dtlb    *tlb.TLB         //detlint:ignore snapshotcomplete hardware wiring re-attached by core assembly on restore
+	hier    cacheInvalidator //detlint:ignore snapshotcomplete hardware wiring re-attached by core assembly on restore
+	hierDMA dmaSink          //detlint:ignore snapshotcomplete hardware wiring re-attached by core assembly on restore
 
 	code *codebase // kernel code regions + walkers
 
@@ -167,14 +167,14 @@ type Kernel struct {
 	nextPID   uint64
 	rrIntCtx  int
 	lastTick  uint64
-	interrupt []int // scratch returned by Cycle
+	interrupt []int //detlint:ignore snapshotcomplete scratch buffer returned by Cycle, carries no state across cycles
 
 	net *netState
 
 	// faults is the fault injector (nil = no process faults); respawn
 	// builds a replacement worker after an injected crash.
-	faults  *faults.Injector
-	respawn func() workload.Program
+	faults  *faults.Injector        //detlint:ignore snapshotcomplete fault wiring re-attached by core assembly on restore
+	respawn func() workload.Program //detlint:ignore snapshotcomplete fault wiring re-attached by core assembly on restore
 
 	// Counters surfaced in reports.
 	ContextSwitches uint64

@@ -119,7 +119,7 @@ type Memory struct {
 	// processes execute one set of physical pages).
 	shared []struct{ base, end uint64 }
 
-	frames     uint64 // total physical frames
+	frames     uint64 //detlint:ignore snapshotcomplete geometry fixed at construction; Restore panics on mismatch
 	nextFrame  uint64 // bump pointer
 	free       []uint64
 	owners     []mapping // indexed by pfn: current owner, for reclaim

@@ -91,7 +91,7 @@ type delayedFrame struct {
 // Network implements kernel.NIC: the client fleet plus the wire (lossless
 // and zero-latency by default; lossy under fault injection).
 type Network struct {
-	cfg     Config
+	cfg     Config //detlint:ignore snapshotcomplete configuration fixed at construction
 	rng     *rng.Rand
 	clients []client
 	ticks   uint64
@@ -99,7 +99,7 @@ type Network struct {
 	files   map[int]int // conn -> requested file size
 
 	// inj is the fault injector (nil = perfect wire).
-	inj *faults.Injector
+	inj *faults.Injector //detlint:ignore snapshotcomplete fault wiring re-attached by core assembly on restore
 	// delayedIn holds client→server frames in transit; delayedOut holds
 	// server→client frames in transit.
 	delayedIn  []delayedFrame

@@ -29,13 +29,13 @@ package pipeline
 
 import (
 	"fmt"
-	"strings"
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/stats"
 	"repro/internal/sys"
 	"repro/internal/tlb"
+	"strings"
 )
 
 // TrapKind identifies why the pipeline is re-entering the feed.
@@ -383,8 +383,8 @@ func (m *Metrics) PctCycles(n uint64) float64 {
 
 // Engine is the simulated core plus all shared hardware structures.
 type Engine struct {
-	Cfg  Config
-	Feed Feed
+	Cfg  Config //detlint:ignore snapshotcomplete configuration fixed at construction
+	Feed Feed   //detlint:ignore snapshotcomplete kernel wiring attached at assembly, not serializable
 
 	Hier *cache.Hierarchy
 	ITLB *tlb.TLB
@@ -408,7 +408,7 @@ type Engine struct {
 	rrRetire         int
 	rrFetch          int
 	rrDispatch       int
-	fetchableScratch []int
+	fetchableScratch []int //detlint:ignore snapshotcomplete scratch buffer, carries no state across cycles
 }
 
 // New builds an engine over the given feed and hardware structures.

@@ -39,13 +39,13 @@ type Entry struct {
 
 // TLB is a fully-associative, LRU-replaced translation buffer.
 type TLB struct {
-	name    string
+	name    string //detlint:ignore snapshotcomplete diagnostic label fixed at construction
 	entries []Entry
 	tick    uint64
 	tracker *conflict.Tracker
 	// index maps key(asn,vpn) -> entry slot, to avoid scanning the
 	// fully-associative array on every access.
-	index map[uint64]int32
+	index map[uint64]int32 //detlint:ignore snapshotcomplete derived index rebuilt from entries by Restore
 
 	// Accesses and Misses are indexed by accessor privilege (0 user, 1 kernel).
 	Accesses [2]uint64

@@ -128,8 +128,8 @@ const (
 
 // Server builds the process pool.
 type Server struct {
-	cfg    Config
-	region *workload.Region
+	cfg    Config           //detlint:ignore snapshotcomplete configuration fixed at construction
+	region *workload.Region //detlint:ignore snapshotcomplete static code region shared by the pool, rebuilt at assembly
 	// nextSlot is the next process slot to hand out; slots beyond the
 	// pre-forked pool are used by Respawn.
 	nextSlot int

@@ -15,7 +15,7 @@ type Generator interface {
 // infinite (a region never "ends"; finite excerpts are taken with Limit or
 // by the kernel's service wrappers) and fully deterministic given its RNG.
 type Walker struct {
-	Reg       *Region
+	Reg       *Region //detlint:ignore snapshotcomplete static region pointer, re-linked by the owning workload on restore
 	rng       *rng.Rand
 	idx       int
 	loops     []int32
