@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet lint test race audit ckpt-smoke run experiments
+.PHONY: check build vet lint test race audit ckpt-smoke bench-smoke bench run experiments
 
 # check is the full verification gate: compile, vet, the determinism linter,
 # the whole test suite, a fast race pass (Quick-scale simulations skip under
-# -short, so the race leg stays cheap while still covering the
-# fault-injection paths), an audited simulation leg, and a checkpoint
-# save/restore round trip.
-check: build vet lint test race audit ckpt-smoke
+# -short, so the race leg stays cheap while still covering the worker pool
+# and fault-injection paths), an audited simulation leg, a checkpoint
+# save/restore round trip, and a one-iteration benchmark smoke.
+check: build vet lint test race audit ckpt-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,20 @@ ckpt-smoke:
 	$(GO) run ./cmd/ossmt -restore /tmp/ossmt-smoke.ckpt -warmup 0 -cycles 300000 \
 		-audit 150000 > /dev/null
 	rm -f /tmp/ossmt-smoke.ckpt
+
+# bench-smoke runs every benchmark exactly once — it exists to catch
+# crashes in bench-only code paths, not to measure anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /dev/null
+
+# bench records the performance trajectory: the full benchmark suite at its
+# fixed scale, converted to BENCH_<date>.json (simcycles/s, ns/op,
+# allocs/op per benchmark; see EXPERIMENTS.md "Performance work").
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /tmp/bench.out
+	cat /tmp/bench.out
+	$(GO) run ./cmd/benchjson -date $$(date +%F) < /tmp/bench.out > BENCH_$$(date +%F).json
+	@echo wrote BENCH_$$(date +%F).json
 
 # run is a small demo simulation.
 run:

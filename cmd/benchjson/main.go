@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so `make bench` can record a
+// BENCH_<date>.json trajectory artifact that future performance work can
+// diff against.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_2026-08-06.json
+//
+// Every benchmark line becomes one record carrying all reported metrics
+// (ns/op, allocs/op, and custom ones like simcycles/s). The converter is a
+// pure function of its input: identical bench output yields identical
+// bytes, so artifact diffs show performance changes only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark result.
+type record struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix kept, since
+	// parallelism is part of the measurement's identity.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in.
+	Pkg string `json:"pkg"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// document is the whole artifact.
+type document struct {
+	Date       string   `json:"date,omitempty"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp recorded in the artifact (the caller supplies it so the converter itself stays deterministic)")
+	flag.Parse()
+
+	doc := document{Date: *date}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line of the form
+//
+//	BenchmarkName-8   4   478490193 ns/op   627635 simcycles/s   0 allocs/op
+func parseBench(line, pkg string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return record{}, false
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: f[0], Pkg: pkg, Iterations: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}

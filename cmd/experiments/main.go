@@ -6,6 +6,8 @@
 //	experiments -list           # available experiment ids
 //	experiments -quick -json -audit 300000    # machine-readable, audited
 //	experiments -timeout 5m     # per-experiment budget, retry from checkpoint
+//	experiments -parallel 4     # worker pool; output identical to -parallel 1
+//	experiments -quick -cpuprofile cpu.pprof  # profile the whole sweep
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -21,59 +25,111 @@ import (
 )
 
 func main() {
+	// All paths return through here so profile-stopping defers run
+	// before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		run     = flag.String("run", "", "experiment id to run (empty = all)")
-		quick   = flag.Bool("quick", false, "reduced cycle budget")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		seeds   = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
-		list    = flag.Bool("list", false, "list experiment ids")
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON (implies supervised runs)")
-		timeout = flag.Duration("timeout", 0, "per-experiment wall-clock budget; on a trip the experiment retries once, resuming from checkpoints (0 = none)")
-		auditAt = flag.Uint64("audit", 0, "run the invariant auditor every N cycles during each experiment (0 = off)")
+		runID      = flag.String("run", "", "experiment id to run (empty = all)")
+		quick      = flag.Bool("quick", false, "reduced cycle budget")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		seeds      = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
+		list       = flag.Bool("list", false, "list experiment ids")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (implies supervised runs)")
+		timeout    = flag.Duration("timeout", 0, "per-experiment wall-clock budget; on a trip the experiment retries once, resuming from checkpoints (0 = none)")
+		auditAt    = flag.Uint64("audit", 0, "run the invariant auditor every N cycles during each experiment (0 = off)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for independent (experiment, seed) jobs; results are ordered, so output is identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *seeds < 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -seeds must be at least 1 (got %d)\n", *seeds)
-		os.Exit(2)
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -parallel must be at least 1 (got %d)\n", *parallel)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	sc := experiments.Full
 	if *quick {
 		sc = experiments.Quick
 	}
 	ids := experiments.IDs()
-	if *run != "" {
-		ids = []string{*run}
+	if *runID != "" {
+		ids = []string{*runID}
 	}
 
 	// Supervision (timeout, audits) and JSON reporting share the
 	// supervised path; the plain paths below keep their exact output.
 	if *jsonOut || *timeout > 0 || *auditAt > 0 {
-		supervised(ids, sc, *seed, *seeds, *timeout, *auditAt, *jsonOut)
-		return
+		return supervised(ids, sc, *seed, *seeds, *timeout, *auditAt, *jsonOut, *parallel)
 	}
 
-	if *run == "" {
-		fmt.Print(experiments.RenderAll(sc, *seed))
-		return
-	}
 	if *seeds > 1 {
-		multiSeed(*run, sc, *seed, *seeds)
-		return
+		return multiSeed(ids, sc, *seed, *seeds, *parallel)
 	}
-	res, err := experiments.Run(*run, sc, *seed)
+	if *runID == "" {
+		fmt.Print(experiments.RenderAllParallel(sc, *seed, *parallel))
+		return 0
+	}
+	res, err := experiments.Run(*runID, sc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%s — %s\n\n%s\n", res.ID, res.Title, res.Text)
+	return 0
+}
+
+// sweep builds the id-major, seed-minor job list shared by the supervised
+// and multi-seed paths; job i*nSeeds+j is (ids[i], seed+j).
+func sweep(ids []string, seed uint64, nSeeds int) []experiments.Job {
+	jobs := make([]experiments.Job, 0, len(ids)*nSeeds)
+	for _, id := range ids {
+		for j := 0; j < nSeeds; j++ {
+			jobs = append(jobs, experiments.Job{ID: id, Seed: seed + uint64(j)})
+		}
+	}
+	return jobs
 }
 
 // jsonRecord is the machine-readable form of one experiment.
@@ -93,23 +149,26 @@ type jsonRecord struct {
 }
 
 // supervised runs the ids under per-experiment supervision and renders
-// either JSON records or the human report.
-func supervised(ids []string, sc experiments.Scale, seed uint64, nSeeds int, timeout time.Duration, auditAt uint64, jsonOut bool) {
+// either JSON records or the human report. Jobs execute on the worker
+// pool; aggregation walks them in job order, so output matches serial.
+func supervised(ids []string, sc experiments.Scale, seed uint64, nSeeds int, timeout time.Duration, auditAt uint64, jsonOut bool, workers int) int {
+	jobs := sweep(ids, seed, nSeeds)
+	results := experiments.RunJobsSupervised(jobs, sc, timeout, auditAt, workers)
 	var records []jsonRecord
 	failed := false
-	for _, id := range ids {
+	for i, id := range ids {
 		rec := jsonRecord{ID: id, Status: "ok", Values: map[string]float64{}}
 		acc := map[string][]float64{}
 		var lastText string
-		for i := 0; i < nSeeds; i++ {
-			s := seed + uint64(i)
-			res, st, err := experiments.RunSupervised(id, sc, s, timeout, auditAt)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		for j := 0; j < nSeeds; j++ {
+			jr := results[i*nSeeds+j]
+			if jr.Err != nil {
+				fmt.Fprintln(os.Stderr, jr.Err)
+				return 1
 			}
+			res, st := jr.Res, jr.Status
 			rec.Title = res.Title
-			rec.Seeds = append(rec.Seeds, s)
+			rec.Seeds = append(rec.Seeds, jobs[i*nSeeds+j].Seed)
 			rec.Audits += st.Audits
 			rec.Checkpoints += st.Checkpoints
 			rec.FaultCrashes += st.FaultCrashes
@@ -148,7 +207,7 @@ func supervised(ids []string, sc experiments.Scale, seed uint64, nSeeds int, tim
 		if rec.Retried {
 			status += " (retried)"
 		}
-		fmt.Printf("################ %s — %s [%s]\n\n%s\n", rec.ID, rec.Title, status, lastText)
+		fmt.Printf("################ %s — %s [%s]\n\n%s\n", id, rec.Title, status, lastText)
 		if rec.Error != "" {
 			fmt.Printf("  partial result; last error: %s\n\n", rec.Error)
 		}
@@ -158,46 +217,56 @@ func supervised(ids []string, sc experiments.Scale, seed uint64, nSeeds int, tim
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(records); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-// multiSeed reruns one experiment across seeds and reports, for every key
+// multiSeed reruns each experiment across seeds and reports, for every key
 // value, the mean and min..max spread — a sanity check that a conclusion
-// does not hinge on one random stream.
-func multiSeed(id string, sc experiments.Scale, seed uint64, n int) {
-	acc := map[string][]float64{}
-	var title string
-	for i := 0; i < n; i++ {
-		res, err := experiments.Run(id, sc, seed+uint64(i))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+// does not hinge on one random stream. With several ids (-seeds without
+// -run) the blocks are separated by a blank line.
+func multiSeed(ids []string, sc experiments.Scale, seed uint64, n, workers int) int {
+	jobs := sweep(ids, seed, n)
+	results := experiments.RunJobs(jobs, sc, workers)
+	for i := range ids {
+		acc := map[string][]float64{}
+		var title string
+		for j := 0; j < n; j++ {
+			jr := results[i*n+j]
+			if jr.Err != nil {
+				fmt.Fprintln(os.Stderr, jr.Err)
+				return 1
+			}
+			title = jr.Res.Title
+			for k, v := range jr.Res.Values {
+				acc[k] = append(acc[k], v)
+			}
 		}
-		title = res.Title
-		for k, v := range res.Values {
-			acc[k] = append(acc[k], v)
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s — %s (%d seeds)\n\n", jobs[i*n].ID, title, n)
+		keys := make([]string, 0, len(acc))
+		for k := range acc {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			vs := acc[k]
+			mean, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+			for _, v := range vs {
+				mean += v
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			mean /= float64(len(vs))
+			fmt.Printf("  %-24s mean %.3f   range [%.3f, %.3f]\n", k, mean, lo, hi)
 		}
 	}
-	fmt.Printf("%s — %s (%d seeds)\n\n", id, title, n)
-	keys := make([]string, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		vs := acc[k]
-		mean, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
-		for _, v := range vs {
-			mean += v
-			lo = math.Min(lo, v)
-			hi = math.Max(hi, v)
-		}
-		mean /= float64(len(vs))
-		fmt.Printf("  %-24s mean %.3f   range [%.3f, %.3f]\n", k, mean, lo, hi)
-	}
+	return 0
 }

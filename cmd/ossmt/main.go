@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/audit"
 	"repro/internal/core"
@@ -25,6 +27,12 @@ import (
 )
 
 func main() {
+	// All paths return through here so profile-stopping defers run
+	// before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		workload = flag.String("workload", "apache", "workload: specint | apache")
 		proc     = flag.String("proc", "smt", "processor: smt | ss")
@@ -56,8 +64,40 @@ func main() {
 		restore   = flag.String("restore", "", "resume from this checkpoint instead of a fresh boot")
 		ckptEvery = flag.Uint64("ckpt-every", 0, "also auto-checkpoint every N cycles (needs -checkpoint)")
 		auditAt   = flag.Uint64("audit", 0, "run the invariant auditor every N cycles (0 = off)")
+
+		// Profiling (see EXPERIMENTS.md, "Performance work").
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	opts := core.Options{
 		Seed:            *seed,
@@ -86,7 +126,7 @@ func main() {
 		opts.Processor = core.Superscalar
 	default:
 		fmt.Fprintf(os.Stderr, "unknown processor %q (smt|ss)\n", *proc)
-		os.Exit(2)
+		return 2
 	}
 
 	var sim *core.Simulator
@@ -105,7 +145,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	sim.Sup = core.Supervision{
 		CheckpointEvery: *ckptEvery,
@@ -121,24 +161,24 @@ func main() {
 	}
 
 	if err := sim.RunChecked(ctx, *warmup); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	before := report.Take(sim)
 	if err := sim.RunChecked(ctx, *cycles); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	after := report.Take(sim)
 	w := report.Delta(before, after)
 
 	if *ckptPath != "" {
 		if err := sim.WriteCheckpoint(*ckptPath); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "ossmt: checkpoint written to %s (cycle %d)\n", *ckptPath, sim.Now())
 	}
 	if *auditAt > 0 {
 		if err := sim.Audit(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 
@@ -149,11 +189,13 @@ func main() {
 		fmt.Println()
 		fmt.Print(report.PerProgram(sim))
 	}
+	return 0
 }
 
 // fail prints a structured error (watchdog trip, recovered panic, invariant
-// audit failure — each already carries its diagnostics) and exits nonzero.
-func fail(err error) {
+// audit failure — each already carries its diagnostics) and returns the
+// nonzero exit code.
+func fail(err error) int {
 	var (
 		ll *faults.LivelockError
 		dl *faults.DeadlineError
@@ -171,5 +213,5 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "ossmt: invariant audit failed")
 	}
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return 1
 }

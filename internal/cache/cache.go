@@ -156,8 +156,9 @@ func (c *Cache) Access(paddr uint64, ag conflict.Agent, write bool) bool {
 // Probe reports residency without side effects.
 func (c *Cache) Probe(paddr uint64) bool {
 	la := c.LineAddr(paddr)
-	for i := range c.set(la) {
-		l := &c.set(la)[i]
+	set := c.set(la)
+	for i := range set {
+		l := &set[i]
 		if l.valid && l.tag == la {
 			return true
 		}

@@ -53,41 +53,61 @@ type AccessResult struct {
 	Stall bool
 }
 
-// mshr tracks in-flight line fills for one cache level.
+// mshrFill is one in-flight line fill.
+type mshrFill struct {
+	la    uint64
+	ready uint64
+}
+
+// mshr tracks in-flight line fills for one cache level. The table is a small
+// fixed-capacity slice (32 entries in the paper) rather than a map: linear
+// scans over ≤32 entries beat map hashing on the per-access hot path, and the
+// preallocated backing array makes every operation allocation-free. Line
+// addresses are unique within the table (reserve overwrites in place, exactly
+// as the map-keyed version did).
 type mshr struct {
 	cap         int
-	inflight    map[uint64]uint64 // line address -> ready cycle
+	inflight    []mshrFill
 	FullStalls  uint64
 	latencyArea uint64 // Σ fill durations, for Little's-law avg outstanding
 	fills       uint64
 }
 
 func newMSHR(capacity int) *mshr {
-	return &mshr{cap: capacity, inflight: map[uint64]uint64{}}
+	return &mshr{cap: capacity, inflight: make([]mshrFill, 0, capacity)}
 }
 
-// purge drops completed fills.
+// purge drops completed fills, compacting in place.
 func (m *mshr) purge(now uint64) {
-	for la, ready := range m.inflight {
-		if ready <= now {
-			delete(m.inflight, la)
+	live := m.inflight[:0]
+	for _, f := range m.inflight {
+		if f.ready > now {
+			live = append(live, f)
 		}
 	}
+	m.inflight = live
 }
 
-// lookup returns the in-flight completion time for a line, if any.
+// lookup returns the in-flight completion time for a line, if any; a
+// completed entry is dropped on the way.
 func (m *mshr) lookup(la, now uint64) (uint64, bool) {
-	ready, ok := m.inflight[la]
-	if ok && ready > now {
-		return ready, true
-	}
-	if ok {
-		delete(m.inflight, la)
+	for i := range m.inflight {
+		if m.inflight[i].la != la {
+			continue
+		}
+		if ready := m.inflight[i].ready; ready > now {
+			return ready, true
+		}
+		m.inflight = append(m.inflight[:i], m.inflight[i+1:]...)
+		return 0, false
 	}
 	return 0, false
 }
 
-// reserve allocates an entry; reports false when full.
+// reserve allocates an entry; reports false when full. An entry for a line
+// already in flight is overwritten (the fill was superseded: its line was
+// evicted and re-missed before the fill completed), which — like the
+// capacity check running first — mirrors the previous map semantics.
 func (m *mshr) reserve(la, now, ready uint64) bool {
 	if len(m.inflight) >= m.cap {
 		m.purge(now)
@@ -96,9 +116,15 @@ func (m *mshr) reserve(la, now, ready uint64) bool {
 			return false
 		}
 	}
-	m.inflight[la] = ready
 	m.latencyArea += ready - now
 	m.fills++
+	for i := range m.inflight {
+		if m.inflight[i].la == la {
+			m.inflight[i].ready = ready
+			return true
+		}
+	}
+	m.inflight = append(m.inflight, mshrFill{la: la, ready: ready})
 	return true
 }
 

@@ -96,17 +96,17 @@ func (m *mshr) snapshot() MSHRSnap {
 		LatencyArea: m.latencyArea,
 		Fills:       m.fills,
 	}
-	for la, ready := range m.inflight {
-		s.Inflight = append(s.Inflight, MSHRFill{Line: la, Ready: ready})
+	for _, f := range m.inflight {
+		s.Inflight = append(s.Inflight, MSHRFill{Line: f.la, Ready: f.ready})
 	}
 	sort.Slice(s.Inflight, func(i, j int) bool { return s.Inflight[i].Line < s.Inflight[j].Line })
 	return s
 }
 
 func (m *mshr) restore(s MSHRSnap) {
-	m.inflight = make(map[uint64]uint64, len(s.Inflight))
+	m.inflight = make([]mshrFill, 0, len(s.Inflight))
 	for _, f := range s.Inflight {
-		m.inflight[f.Line] = f.Ready
+		m.inflight = append(m.inflight, mshrFill{la: f.Line, ready: f.Ready})
 	}
 	m.FullStalls = s.FullStalls
 	m.latencyArea = s.LatencyArea

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/report"
@@ -17,9 +16,9 @@ func init() {
 	register("ablation-procs", "Ablation: Apache server-process pool size", ablationProcs)
 }
 
-func ablationFetch(sc Scale, seed uint64) Result {
-	icount := window(apacheSim(sc, seed, core.Options{}), sc)
-	rr := window(apacheSim(sc, seed, core.Options{RoundRobinFetch: true}), sc)
+func ablationFetch(ev *env, sc Scale, seed uint64) Result {
+	icount := ev.window(apacheSim(sc, seed, core.Options{}), sc)
+	rr := ev.window(apacheSim(sc, seed, core.Options{RoundRobinFetch: true}), sc)
 	t := report.NewTable("policy", "IPC", "squash%", "fetchable")
 	t.Row("icount-2.8", report.F2(icount.IPC()), report.F1(icount.Metrics.SquashPct()), report.F1(icount.Metrics.AvgFetchable()))
 	t.Row("round-robin", report.F2(rr.IPC()), report.F1(rr.Metrics.SquashPct()), report.F1(rr.Metrics.AvgFetchable()))
@@ -29,11 +28,11 @@ func ablationFetch(sc Scale, seed uint64) Result {
 	}}
 }
 
-func ablationContexts(sc Scale, seed uint64) Result {
+func ablationContexts(ev *env, sc Scale, seed uint64) Result {
 	t := report.NewTable("contexts", "IPC", "kernel%", "fetchable")
 	vals := map[string]float64{}
 	for _, n := range []int{1, 2, 4, 8} {
-		w := window(apacheSim(sc, seed, core.Options{Contexts: n}), sc)
+		w := ev.window(apacheSim(sc, seed, core.Options{Contexts: n}), sc)
 		t.Row(fmt.Sprintf("%d", n), report.F2(w.IPC()), report.F1(w.CycleAt.KernelPct()), report.F1(w.Metrics.AvgFetchable()))
 		vals[fmt.Sprintf("ipc%d", n)] = w.IPC()
 	}
@@ -41,11 +40,11 @@ func ablationContexts(sc Scale, seed uint64) Result {
 	return Result{Text: text, Values: vals}
 }
 
-func ablationIdle(sc Scale, seed uint64) Result {
+func ablationIdle(ev *env, sc Scale, seed uint64) Result {
 	// Half-loaded machine: 4 Apache processes on 8 contexts leaves idle
 	// contexts whose spin loop competes for fetch slots.
-	halt := window(apacheSim(sc, seed, core.Options{ServerProcesses: 4, Clients: 8}), sc)
-	spin := window(apacheSim(sc, seed, core.Options{ServerProcesses: 4, Clients: 8, IdleSpin: true}), sc)
+	halt := ev.window(apacheSim(sc, seed, core.Options{ServerProcesses: 4, Clients: 8}), sc)
+	spin := ev.window(apacheSim(sc, seed, core.Options{ServerProcesses: 4, Clients: 8, IdleSpin: true}), sc)
 	t := report.NewTable("idle model", "IPC", "retired/kcycle")
 	perK := func(w report.Snapshot) float64 {
 		if w.Metrics.Cycles == 0 {
@@ -62,12 +61,12 @@ func ablationIdle(sc Scale, seed uint64) Result {
 	}}
 }
 
-func ablationInterrupt(sc Scale, seed uint64) Result {
+func ablationInterrupt(ev *env, sc Scale, seed uint64) Result {
 	t := report.NewTable("interval(cycles)", "IPC", "requests done", "netisr%")
 	vals := map[string]float64{}
 	for _, iv := range []uint64{sc.Interval / 2, sc.Interval, sc.Interval * 2} {
 		sim := core.NewApache(core.Options{Seed: seed, CyclesPer10ms: iv})
-		w := window(sim, sc)
+		w := ev.window(sim, sc)
 		t.Row(fmt.Sprintf("%d", iv), report.F2(w.IPC()), report.I(w.NetCompleted),
 			report.F1(w.CycleAt.PctCat(sys.CatNetisr)))
 		vals[fmt.Sprintf("done%d", iv)] = float64(w.NetCompleted)
@@ -76,11 +75,11 @@ func ablationInterrupt(sc Scale, seed uint64) Result {
 	return Result{Text: text, Values: vals}
 }
 
-func ablationProcs(sc Scale, seed uint64) Result {
+func ablationProcs(ev *env, sc Scale, seed uint64) Result {
 	t := report.NewTable("server processes", "IPC", "requests done", "kernel%")
 	vals := map[string]float64{}
 	for _, n := range []int{8, 16, 32, 64} {
-		w := window(apacheSim(sc, seed, core.Options{ServerProcesses: n}), sc)
+		w := ev.window(apacheSim(sc, seed, core.Options{ServerProcesses: n}), sc)
 		t.Row(fmt.Sprintf("%d", n), report.F2(w.IPC()), report.I(w.NetCompleted), report.F1(w.CycleAt.KernelPct()))
 		vals[fmt.Sprintf("done%d", n)] = float64(w.NetCompleted)
 	}
@@ -88,29 +87,14 @@ func ablationProcs(sc Scale, seed uint64) Result {
 	return Result{Text: text, Values: vals}
 }
 
-// RenderAll runs every experiment at the given scale and returns the full
-// report (used by cmd/experiments and EXPERIMENTS.md generation).
-func RenderAll(sc Scale, seed uint64) string {
-	var b strings.Builder
-	for _, id := range IDs() {
-		res, err := Run(id, sc, seed)
-		if err != nil {
-			fmt.Fprintf(&b, "%s: %v\n", id, err)
-			continue
-		}
-		fmt.Fprintf(&b, "################ %s — %s\n\n%s\n", res.ID, res.Title, res.Text)
-	}
-	return b.String()
-}
-
 func init() {
 	register("ablation-dma", "Ablation: network-interface DMA on the memory bus (§2.2.1 omission)", ablationDMA)
 	register("ablation-affinity", "Ablation: FIFO vs cache-affinity scheduling (OS-optimization future work)", ablationAffinity)
 }
 
-func ablationDMA(sc Scale, seed uint64) Result {
-	off := window(apacheSim(sc, seed, core.Options{}), sc)
-	on := window(apacheSim(sc, seed, core.Options{ModelNetworkDMA: true}), sc)
+func ablationDMA(ev *env, sc Scale, seed uint64) Result {
+	off := ev.window(apacheSim(sc, seed, core.Options{}), sc)
+	on := ev.window(apacheSim(sc, seed, core.Options{ModelNetworkDMA: true}), sc)
 	t := report.NewTable("network DMA", "IPC", "requests done", "L2 miss%")
 	t.Row("omitted (paper)", report.F2(off.IPC()), report.I(off.NetCompleted), report.F2(off.L2.MissRateOverall()))
 	t.Row("modeled", report.F2(on.IPC()), report.I(on.NetCompleted), report.F2(on.L2.MissRateOverall()))
@@ -121,11 +105,11 @@ func ablationDMA(sc Scale, seed uint64) Result {
 	}}
 }
 
-func ablationAffinity(sc Scale, seed uint64) Result {
+func ablationAffinity(ev *env, sc Scale, seed uint64) Result {
 	// Oversubscribed machine so scheduling decisions matter: 64 processes
 	// with frequent preemption on 8 contexts.
-	fifo := window(apacheSim(sc, seed, core.Options{}), sc)
-	aff := window(apacheSim(sc, seed, core.Options{AffinityScheduler: true}), sc)
+	fifo := ev.window(apacheSim(sc, seed, core.Options{}), sc)
+	aff := ev.window(apacheSim(sc, seed, core.Options{AffinityScheduler: true}), sc)
 	t := report.NewTable("scheduler", "IPC", "requests done", "L1D miss%", "DTLB miss%")
 	t.Row("fifo (paper's MP scheduler)", report.F2(fifo.IPC()), report.I(fifo.NetCompleted),
 		report.F2(fifo.L1D.MissRateOverall()), report.F2(fifo.DTLB.MissRateOverall()))
@@ -142,9 +126,9 @@ func init() {
 	register("ablation-keepalive", "Ablation: one-request connections vs HTTP/1.1 keep-alive", ablationKeepAlive)
 }
 
-func ablationKeepAlive(sc Scale, seed uint64) Result {
-	one := window(apacheSim(sc, seed, core.Options{}), sc)
-	ka := window(apacheSim(sc, seed, core.Options{KeepAliveRequests: 8}), sc)
+func ablationKeepAlive(ev *env, sc Scale, seed uint64) Result {
+	one := ev.window(apacheSim(sc, seed, core.Options{}), sc)
+	ka := ev.window(apacheSim(sc, seed, core.Options{KeepAliveRequests: 8}), sc)
 	t := report.NewTable("connections", "IPC", "requests done", "accept cyc%", "netisr%")
 	rowFor := func(label string, w report.Snapshot) {
 		t.Row(label, report.F2(w.IPC()), report.I(w.NetCompleted),
@@ -165,9 +149,9 @@ func init() {
 	register("ablation-diskbound", "Ablation: cached vs disk-bound fileset (§2.2.1 speculation)", ablationDiskBound)
 }
 
-func ablationDiskBound(sc Scale, seed uint64) Result {
-	cached := window(apacheSim(sc, seed, core.Options{}), sc)
-	bound := window(apacheSim(sc, seed, core.Options{BufferCacheHitRate: 0.3}), sc)
+func ablationDiskBound(ev *env, sc Scale, seed uint64) Result {
+	cached := ev.window(apacheSim(sc, seed, core.Options{}), sc)
+	bound := ev.window(apacheSim(sc, seed, core.Options{BufferCacheHitRate: 0.3}), sc)
 	t := report.NewTable("fileset", "IPC", "requests done", "read cyc%", "L1D miss%")
 	rowFor := func(label string, w report.Snapshot) {
 		t.Row(label, report.F2(w.IPC()), report.I(w.NetCompleted),

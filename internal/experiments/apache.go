@@ -21,7 +21,7 @@ func init() {
 	register("tab9", "Table 9: impact of the OS on hardware structures (Apache)", tab9)
 }
 
-func fig5(sc Scale, seed uint64) Result {
+func fig5(ev *env, sc Scale, seed uint64) Result {
 	sim := apacheSim(sc, seed, core.Options{})
 	t := report.NewTable("cycles(k)", "user%", "kernel%", "pal%", "idle%")
 	steps := 12
@@ -29,7 +29,7 @@ func fig5(sc Scale, seed uint64) Result {
 	prev := report.Take(sim)
 	var lastKernel float64
 	for i := 1; i <= steps; i++ {
-		advance(sim, total/uint64(steps))
+		ev.advance(sim, total/uint64(steps))
 		cur := report.Take(sim)
 		w := report.Delta(prev, cur)
 		prev = cur
@@ -46,11 +46,11 @@ func fig5(sc Scale, seed uint64) Result {
 	return Result{Text: text, Values: map[string]float64{"kernelPct": lastKernel}}
 }
 
-func fig6(sc Scale, seed uint64) Result {
+func fig6(ev *env, sc Scale, seed uint64) Result {
 	ap := apacheSim(sc, seed, core.Options{})
-	apW := window(ap, sc)
+	apW := ev.window(ap, sc)
 	sp := specSim(sc, seed, core.Options{})
-	spStart, spSteady := phases(sp, sc)
+	spStart, spSteady := ev.phases(sp, sc)
 
 	t := report.NewTable("workload", "syscall%", "dtlb%", "itlb%", "intr%", "netisr%", "sched%", "spin%", "other%", "pal%")
 	kernelBreakdownRows(t, "apache", apW)
@@ -69,10 +69,10 @@ func fig6(sc Scale, seed uint64) Result {
 	}}
 }
 
-func fig7(sc Scale, seed uint64) Result {
+func fig7(ev *env, sc Scale, seed uint64) Result {
 	sim := apacheSim(sc, seed, core.Options{})
 	before := sim.Kernel.SvcInstByRes
-	w := window(sim, sc)
+	w := ev.window(sim, sc)
 	after := sim.Kernel.SvcInstByRes
 
 	t := report.NewTable("syscall", "% of all cycles")
@@ -120,9 +120,9 @@ func fig7(sc Scale, seed uint64) Result {
 	}}
 }
 
-func tab5(sc Scale, seed uint64) Result {
+func tab5(ev *env, sc Scale, seed uint64) Result {
 	sim := apacheSim(sc, seed, core.Options{})
-	w := window(sim, sc)
+	w := ev.window(sim, sc)
 	t := report.NewTable("type", "user", "kernel", "overall")
 	mixRows(t, "apache", w)
 	text := t.String() + paperNote(
@@ -136,13 +136,13 @@ func tab5(sc Scale, seed uint64) Result {
 	}}
 }
 
-func tab6(sc Scale, seed uint64) Result {
+func tab6(ev *env, sc Scale, seed uint64) Result {
 	ap := apacheSim(sc, seed, core.Options{})
-	apW := window(ap, sc)
+	apW := ev.window(ap, sc)
 	sp := specSim(sc, seed, core.Options{})
-	_, spW := phases(sp, sc)
+	_, spW := ev.phases(sp, sc)
 	ss := apacheSim(sc, seed, core.Options{Processor: core.Superscalar})
-	ssW := window(ss, sc)
+	ssW := ev.window(ss, sc)
 
 	t := report.NewTable("metric", "apache/smt", "spec/smt", "apache/ss")
 	row := func(name string, f func(w report.Snapshot) float64, fmtF func(float64) string) {
@@ -181,9 +181,9 @@ func tab6(sc Scale, seed uint64) Result {
 	}}
 }
 
-func tab7(sc Scale, seed uint64) Result {
+func tab7(ev *env, sc Scale, seed uint64) Result {
 	sim := apacheSim(sc, seed, core.Options{})
-	w := window(sim, sc)
+	w := ev.window(sim, sc)
 	var b strings.Builder
 	structRows(&b, "BTB", w.BTB)
 	structRows(&b, "L1I", w.L1I)
@@ -206,11 +206,11 @@ func tab7(sc Scale, seed uint64) Result {
 	}}
 }
 
-func tab8(sc Scale, seed uint64) Result {
+func tab8(ev *env, sc Scale, seed uint64) Result {
 	smt := apacheSim(sc, seed, core.Options{})
-	smtW := window(smt, sc)
+	smtW := ev.window(smt, sc)
 	ss := apacheSim(sc, seed, core.Options{Processor: core.Superscalar})
-	ssW := window(ss, sc)
+	ssW := ev.window(ss, sc)
 
 	var b strings.Builder
 	renderSharing := func(label string, w report.Snapshot) {
@@ -241,7 +241,7 @@ func tab8(sc Scale, seed uint64) Result {
 	}}
 }
 
-func tab9(sc Scale, seed uint64) Result {
+func tab9(ev *env, sc Scale, seed uint64) Result {
 	type cfgT struct {
 		label string
 		opt   core.Options
@@ -255,7 +255,7 @@ func tab9(sc Scale, seed uint64) Result {
 	ws := map[string]report.Snapshot{}
 	for _, c := range cfgs {
 		sim := apacheSim(sc, seed, c.opt)
-		ws[c.label] = window(sim, sc)
+		ws[c.label] = ev.window(sim, sc)
 	}
 	t := report.NewTable("metric", "smt-only", "smt+os", "chg", "ss-only", "ss+os", "chg")
 	chg := func(a, b float64) string {

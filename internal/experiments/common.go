@@ -44,15 +44,23 @@ type Result struct {
 	Values map[string]float64
 }
 
+// env carries per-run context through an experiment function — notably the
+// supervisor when the run is supervised (nil otherwise). Each job in a
+// parallel sweep gets its own env, so experiment functions never share
+// mutable state across goroutines.
+type env struct {
+	sup *supervisor
+}
+
 // runner builds one experiment.
 type runner struct {
 	title string
-	fn    func(sc Scale, seed uint64) Result
+	fn    func(ev *env, sc Scale, seed uint64) Result
 }
 
 var registry = map[string]runner{}
 
-func register(id, title string, fn func(sc Scale, seed uint64) Result) {
+func register(id, title string, fn func(ev *env, sc Scale, seed uint64) Result) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate experiment id " + strconv.Quote(id))
 	}
@@ -75,7 +83,7 @@ func Run(id string, sc Scale, seed uint64) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	res := r.fn(sc, seed)
+	res := r.fn(&env{}, sc, seed)
 	res.ID = id
 	res.Title = r.title
 	return res, nil
@@ -84,11 +92,11 @@ func Run(id string, sc Scale, seed uint64) (Result, error) {
 // --------------------------------------------------------------- helpers
 
 // advance moves a simulation forward by n cycles. Under RunSupervised it
-// routes through the supervisor (deadline, periodic audits, checkpoint
+// routes through the run's supervisor (deadline, periodic audits, checkpoint
 // memoization); otherwise it is a plain Run.
-func advance(sim *core.Simulator, n uint64) {
-	if sup != nil {
-		sup.step(sim, n)
+func (ev *env) advance(sim *core.Simulator, n uint64) {
+	if ev.sup != nil {
+		ev.sup.step(sim, n)
 		return
 	}
 	sim.Run(n)
@@ -96,21 +104,21 @@ func advance(sim *core.Simulator, n uint64) {
 
 // window runs warmup, then measures for sc.Measure cycles and returns the
 // delta snapshot of the measured window.
-func window(sim *core.Simulator, sc Scale) report.Snapshot {
-	advance(sim, sc.Warmup)
+func (ev *env) window(sim *core.Simulator, sc Scale) report.Snapshot {
+	ev.advance(sim, sc.Warmup)
 	a := report.Take(sim)
-	advance(sim, sc.Measure)
+	ev.advance(sim, sc.Measure)
 	b := report.Take(sim)
 	return report.Delta(a, b)
 }
 
 // phases runs the simulation from cold and returns the start-up window
 // (the first sc.Warmup cycles) and the steady window (the next sc.Measure).
-func phases(sim *core.Simulator, sc Scale) (startup, steady report.Snapshot) {
+func (ev *env) phases(sim *core.Simulator, sc Scale) (startup, steady report.Snapshot) {
 	zero := report.Take(sim)
-	advance(sim, sc.Warmup)
+	ev.advance(sim, sc.Warmup)
 	a := report.Take(sim)
-	advance(sim, sc.Measure)
+	ev.advance(sim, sc.Measure)
 	b := report.Take(sim)
 	return report.Delta(zero, a), report.Delta(a, b)
 }

@@ -17,14 +17,14 @@ func init() {
 // client retry/backoff machinery converts loss into latency: requests still
 // complete, but each drop costs a timeout plus a retransmission, and the
 // network side of the kernel does the protocol work twice.
-func ablationLoss(sc Scale, seed uint64) Result {
+func ablationLoss(ev *env, sc Scale, seed uint64) Result {
 	t := report.NewTable("loss", "IPC", "done", "retransmits", "resets", "aborted", "dropped")
 	vals := map[string]float64{}
 	for _, loss := range []float64{0, 0.02, 0.05, 0.10} {
 		sim := apacheSim(sc, seed, core.Options{
 			Faults: faults.Config{LossRate: loss},
 		})
-		w := window(sim, sc)
+		w := ev.window(sim, sc)
 		t.Row(fmt.Sprintf("%.2f", loss), report.F2(w.IPC()), report.I(w.NetCompleted),
 			report.I(w.NetRetransmits), report.I(w.NetResets), report.I(w.NetAborted),
 			report.I(w.FramesDropped))
@@ -42,14 +42,14 @@ func ablationLoss(sc Scale, seed uint64) Result {
 // exercises the involuntary-exit path (lock release, socket reap, address-
 // space teardown with ASN invalidation) plus a re-fork, and the client
 // answers the mid-request reset with a fresh connection.
-func ablationCrash(sc Scale, seed uint64) Result {
+func ablationCrash(ev *env, sc Scale, seed uint64) Result {
 	t := report.NewTable("crashrate", "IPC", "done", "crashes", "respawns", "resets", "asn-recycles")
 	vals := map[string]float64{}
 	for _, cr := range []float64{0, 0.0005, 0.002, 0.01} {
 		sim := apacheSim(sc, seed, core.Options{
 			Faults: faults.Config{CrashRate: cr},
 		})
-		w := window(sim, sc)
+		w := ev.window(sim, sc)
 		t.Row(fmt.Sprintf("%.4f", cr), report.F2(w.IPC()), report.I(w.NetCompleted),
 			report.I(w.WorkerCrashes), report.I(w.WorkerRespawns), report.I(w.NetResets),
 			report.I(w.ASNRecycles))

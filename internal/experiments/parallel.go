@@ -1,0 +1,129 @@
+// Deterministic parallel experiment runner. Every experiment run is fully
+// seeded and isolated — each job builds its own simulators and (when
+// supervised) its own supervisor, so (experiment, seed) jobs can execute on
+// a bounded worker pool with no shared mutable state. Determinism is
+// preserved by construction: workers only decide *when* a job runs, never
+// what it computes, and results are collected into a slice indexed by job
+// position, so callers assemble output in the same fixed order as the
+// serial path and the bytes come out identical.
+//
+// This package is deliberately outside detlint's nogoroutine scope: the
+// analyzer pins the cycle-level core (pipeline, kernel, core, mem, cache,
+// tlb, bpred) to straight-line code, while whole-simulation fan-out like
+// this lives a layer above, where goroutine interleaving cannot reach
+// simulated time.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Job names one (experiment, seed) unit of work in a sweep.
+type Job struct {
+	ID   string
+	Seed uint64
+}
+
+// JobResult is the outcome of one plain (unsupervised) job.
+type JobResult struct {
+	Res Result
+	Err error
+}
+
+// SupervisedJobResult is the outcome of one supervised job.
+type SupervisedJobResult struct {
+	Res    Result
+	Status RunStatus
+	Err    error
+}
+
+// forEach invokes fn(i) for every i in [0,n) using at most workers
+// goroutines, blocking until all calls return. fn writes its result into a
+// caller-owned slot at index i, so completion order never leaks into
+// output order. workers <= 1 degenerates to a plain serial loop.
+func forEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RunJobs runs the jobs on a worker pool of the given size and returns
+// their results in job order. Each result is field-identical to what a
+// serial Run of the same (id, seed) would produce.
+func RunJobs(jobs []Job, sc Scale, workers int) []JobResult {
+	out := make([]JobResult, len(jobs))
+	forEach(len(jobs), workers, func(i int) {
+		out[i].Res, out[i].Err = Run(jobs[i].ID, sc, jobs[i].Seed)
+	})
+	return out
+}
+
+// RunJobsSupervised is RunJobs under per-job supervision (deadline, audits,
+// checkpoint-resumed retry); every job gets its own supervisor.
+func RunJobsSupervised(jobs []Job, sc Scale, timeout time.Duration, auditEvery uint64, workers int) []SupervisedJobResult {
+	out := make([]SupervisedJobResult, len(jobs))
+	forEach(len(jobs), workers, func(i int) {
+		out[i].Res, out[i].Status, out[i].Err = RunSupervised(jobs[i].ID, sc, jobs[i].Seed, timeout, auditEvery)
+	})
+	return out
+}
+
+// RunAll runs every registered experiment at the given scale and seed on a
+// worker pool and returns the results in IDs() order.
+func RunAll(sc Scale, seed uint64, workers int) []JobResult {
+	ids := IDs()
+	jobs := make([]Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = Job{ID: id, Seed: seed}
+	}
+	return RunJobs(jobs, sc, workers)
+}
+
+// RenderAll runs every experiment and returns the full report (used by
+// cmd/experiments and EXPERIMENTS.md generation). Serial; identical to
+// RenderAllParallel with one worker.
+func RenderAll(sc Scale, seed uint64) string {
+	return RenderAllParallel(sc, seed, 1)
+}
+
+// RenderAllParallel is RenderAll on a worker pool. The report is assembled
+// in IDs() order from per-job results, so its bytes are identical to the
+// serial rendering regardless of worker count.
+func RenderAllParallel(sc Scale, seed uint64, workers int) string {
+	ids := IDs()
+	results := RunAll(sc, seed, workers)
+	var b strings.Builder
+	for i, jr := range results {
+		if jr.Err != nil {
+			fmt.Fprintf(&b, "%s: %v\n", ids[i], jr.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "################ %s — %s\n\n%s\n", jr.Res.ID, jr.Res.Title, jr.Res.Text)
+	}
+	return b.String()
+}

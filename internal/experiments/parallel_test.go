@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parallelScale is deliberately tiny: these tests compare parallel against
+// serial execution, so every experiment runs twice.
+var parallelScale = Scale{Warmup: 60_000, Measure: 90_000, Interval: 12_000}
+
+// TestRenderAllParallelMatchesSerial is the determinism referee for the
+// worker pool: the full report rendered on 4 workers must be byte-identical
+// to the serial rendering.
+func TestRenderAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full report twice")
+	}
+	serial := RenderAll(parallelScale, 1)
+	par := RenderAllParallel(parallelScale, 1, 4)
+	if serial != par {
+		i := 0
+		for i < len(serial) && i < len(par) && serial[i] == par[i] {
+			i++
+		}
+		lo, hi := i-80, i+80
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(s string) string {
+			if hi < len(s) {
+				return s[lo:hi]
+			}
+			return s[lo:]
+		}
+		t.Fatalf("parallel report diverges from serial at byte %d:\nserial: %q\nparallel: %q",
+			i, clip(serial), clip(par))
+	}
+	if !strings.Contains(par, "################ ") {
+		t.Fatalf("report looks empty: %q", par)
+	}
+}
+
+// TestRunJobsMatchesSerial checks field-identical Results for a multi-seed
+// job list — the shape the -seeds sweep dispatches.
+func TestRunJobsMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each job twice")
+	}
+	ids := []string{"ablation-fetch", "ablation-idle"}
+	var jobs []Job
+	for _, id := range ids {
+		for s := uint64(1); s <= 2; s++ {
+			jobs = append(jobs, Job{ID: id, Seed: s})
+		}
+	}
+	par := RunJobs(jobs, parallelScale, 4)
+	for i, j := range jobs {
+		want, err := Run(j.ID, parallelScale, j.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Err != nil {
+			t.Fatalf("job %v: %v", j, par[i].Err)
+		}
+		got := par[i].Res
+		if got.Text != want.Text {
+			t.Errorf("job %v: Text differs\nparallel: %q\nserial:   %q", j, got.Text, want.Text)
+		}
+		if !reflect.DeepEqual(got.Values, want.Values) {
+			t.Errorf("job %v: Values differ\nparallel: %v\nserial:   %v", j, got.Values, want.Values)
+		}
+	}
+}
+
+// TestRunJobsSupervisedMatchesSerial checks the supervised pool (the -json
+// and -timeout paths) against serial RunSupervised.
+func TestRunJobsSupervisedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each supervised job twice")
+	}
+	jobs := []Job{{ID: "ablation-fetch", Seed: 1}, {ID: "ablation-fetch", Seed: 2}}
+	par := RunJobsSupervised(jobs, parallelScale, 0, 30_000, 4)
+	for i, j := range jobs {
+		want, wantSt, err := RunSupervised(j.ID, parallelScale, j.Seed, 0, 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Err != nil {
+			t.Fatalf("job %v: %v", j, par[i].Err)
+		}
+		if got := par[i].Res; got.Text != want.Text || !reflect.DeepEqual(got.Values, want.Values) {
+			t.Errorf("job %v: supervised Result differs from serial", j)
+		}
+		if got := par[i].Status; got != wantSt {
+			t.Errorf("job %v: RunStatus differs\nparallel: %+v\nserial:   %+v", j, got, wantSt)
+		}
+	}
+}
+
+// TestWorkerPoolConcurrent stays enabled under -short so the `make race`
+// leg exercises concurrent jobs through the pool on every run.
+func TestWorkerPoolConcurrent(t *testing.T) {
+	sc := Scale{Warmup: 20_000, Measure: 30_000, Interval: 8_000}
+	jobs := []Job{
+		{ID: "ablation-fetch", Seed: 1}, {ID: "ablation-fetch", Seed: 2},
+		{ID: "ablation-idle", Seed: 1}, {ID: "ablation-idle", Seed: 2},
+	}
+	for i, jr := range RunJobs(jobs, sc, 4) {
+		if jr.Err != nil {
+			t.Fatalf("job %v: %v", jobs[i], jr.Err)
+		}
+		if jr.Res.Text == "" || len(jr.Res.Values) == 0 {
+			t.Fatalf("job %v: empty result %+v", jobs[i], jr.Res)
+		}
+	}
+}
+
+// TestRunJobsUnknownID confirms an unknown id surfaces as a per-job error
+// in position, not a panic or a dropped slot.
+func TestRunJobsUnknownID(t *testing.T) {
+	jobs := []Job{{ID: "no-such-experiment", Seed: 1}}
+	out := RunJobs(jobs, parallelScale, 2)
+	if len(out) != 1 || out[0].Err == nil {
+		t.Fatalf("want one errored result, got %+v", out)
+	}
+}

@@ -23,5 +23,5 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 			t.Fatalf("panic message %v does not name the duplicate id %q", r, ids[0])
 		}
 	}()
-	register(ids[0], "duplicate", func(sc Scale, seed uint64) Result { return Result{} })
+	register(ids[0], "duplicate", func(ev *env, sc Scale, seed uint64) Result { return Result{} })
 }

@@ -22,7 +22,7 @@ func init() {
 }
 
 // fig1 samples the user/kernel/idle cycle shares over time.
-func fig1(sc Scale, seed uint64) Result {
+func fig1(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
 	t := report.NewTable("cycles(k)", "user%", "kernel%", "pal%", "idle%")
 	steps := 16
@@ -30,7 +30,7 @@ func fig1(sc Scale, seed uint64) Result {
 	prev := report.Take(sim)
 	var lastKernel, startKernel float64
 	for i := 1; i <= steps; i++ {
-		advance(sim, total/uint64(steps))
+		ev.advance(sim, total/uint64(steps))
 		cur := report.Take(sim)
 		w := report.Delta(prev, cur)
 		prev = cur
@@ -70,11 +70,11 @@ func kernelBreakdownRows(t *report.Table, label string, w report.Snapshot) {
 	t.Row(row...)
 }
 
-func fig2(sc Scale, seed uint64) Result {
+func fig2(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
-	startup, steady := phases(sim, sc)
+	startup, steady := ev.phases(sim, sc)
 	ss := specSim(sc, seed, core.Options{Processor: core.Superscalar})
-	ssStartup, ssSteady := phases(ss, sc)
+	ssStartup, ssSteady := ev.phases(ss, sc)
 
 	t := report.NewTable("phase", "syscall%", "dtlb%", "itlb%", "intr%", "netisr%", "sched%", "spin%", "other%", "pal%")
 	kernelBreakdownRows(t, "smt-startup", startup)
@@ -95,9 +95,9 @@ func fig2(sc Scale, seed uint64) Result {
 	}}
 }
 
-func fig3(sc Scale, seed uint64) Result {
+func fig3(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
-	startup, steady := phases(sim, sc)
+	startup, steady := ev.phases(sim, sc)
 	// The paper's Figure 3 counts incursions into *kernel memory
 	// management* — TLB refills of already-mapped pages are handled
 	// entirely in PAL and never reach the VM layer, so they are shown
@@ -122,9 +122,9 @@ func fig3(sc Scale, seed uint64) Result {
 	return Result{Text: text, Values: map[string]float64{"startupAllocPct": sPct}}
 }
 
-func fig4(sc Scale, seed uint64) Result {
+func fig4(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
-	startup, steady := phases(sim, sc)
+	startup, steady := ev.phases(sim, sc)
 	t := report.NewTable("syscall", "startup % of cycles", "steady % of cycles")
 	var readStart float64
 	for n := uint16(1); n < sys.NumSyscalls; n++ {
@@ -171,9 +171,9 @@ func mixRows(t *report.Table, label string, m report.Snapshot) {
 		report.F1(mx.Pct(true, isa.IntALU)+mx.Pct(true, isa.Sync)), "")
 }
 
-func tab2(sc Scale, seed uint64) Result {
+func tab2(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
-	startup, steady := phases(sim, sc)
+	startup, steady := ev.phases(sim, sc)
 	t := report.NewTable("phase/type", "user", "kernel", "overall")
 	mixRows(t, "startup", startup)
 	mixRows(t, "steady", steady)
@@ -200,9 +200,9 @@ func structRows(b *strings.Builder, name string, s report.StructStats) {
 	b.WriteString(t.String())
 }
 
-func tab3(sc Scale, seed uint64) Result {
+func tab3(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
-	w := window(sim, sc)
+	w := ev.window(sim, sc)
 	var b strings.Builder
 	structRows(&b, "BTB", w.BTB)
 	structRows(&b, "L1I", w.L1I)
@@ -220,7 +220,7 @@ func tab3(sc Scale, seed uint64) Result {
 	}}
 }
 
-func tab4(sc Scale, seed uint64) Result {
+func tab4(ev *env, sc Scale, seed uint64) Result {
 	type cfg struct {
 		label string
 		opt   core.Options
@@ -235,7 +235,7 @@ func tab4(sc Scale, seed uint64) Result {
 	ws := map[string]report.Snapshot{}
 	for _, c := range cfgs {
 		sim := specSim(sc, seed, c.opt)
-		ws[c.label] = window(sim, sc)
+		ws[c.label] = ev.window(sim, sc)
 	}
 	chg := func(only, with float64) string {
 		if only == 0 {

@@ -40,10 +40,6 @@ type RunStatus struct {
 	FramesDropped uint64
 }
 
-// sup is the active supervisor; advance() routes through it when non-nil.
-// Experiments run one at a time, so a package global is sufficient.
-var sup *supervisor
-
 // supervisor threads deadline, audits, and checkpoint memoization through
 // an experiment's simulation steps. Experiment functions are deterministic,
 // so a step's ordinal identifies it across attempts: on retry, steps whose
@@ -126,9 +122,7 @@ func RunSupervised(id string, sc Scale, seed uint64, timeout time.Duration, audi
 			images:     images,
 			faultBySim: map[*core.Simulator]faults.Snapshot{},
 		}
-		sup = s
-		defer func() { sup = nil }()
-		res := r.fn(sc, seed)
+		res := r.fn(&env{sup: s}, sc, seed)
 		res.ID, res.Title = id, r.title
 		return res, s
 	}

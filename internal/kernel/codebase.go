@@ -80,9 +80,10 @@ type regionWalker struct {
 	ws  []*workload.Walker
 }
 
-// limit returns a generator for n instructions of this code on context ctx.
-func (rw *regionWalker) limit(ctx, n int) workload.Generator {
-	return &workload.Limit{G: rw.ws[ctx%len(rw.ws)], N: uint64(n)}
+// walker returns the dynamic walker this code uses on context ctx. Bounded
+// traversals wrap it via Kernel.limit, which pools the Limit values.
+func (rw *regionWalker) walker(ctx int) *workload.Walker {
+	return rw.ws[ctx%len(rw.ws)]
 }
 
 // codebase holds every kernel and PAL code region.

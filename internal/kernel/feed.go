@@ -24,7 +24,13 @@ type genEntry struct {
 
 // ctxFeed is the per-hardware-context generation state.
 type ctxFeed struct {
-	buf   []pipeline.FedInst
+	buf []pipeline.FedInst
+	// head indexes the first live instruction in buf: retirement advances it
+	// instead of reslicing (which would strand the front capacity and force
+	// the generator to reallocate the buffer every refill). Compaction is
+	// amortized in Retired; snapshots serialize buf[head:], so the head never
+	// appears in the checkpoint format.
+	head  int //detlint:ignore snapshotcomplete normalized away: snapshots serialize buf[head:]
 	base  uint64
 	stack []genEntry
 	cur   *Thread
@@ -44,6 +50,35 @@ func (f *ctxFeed) init() {
 }
 
 func (f *ctxFeed) push(e genEntry) { f.stack = append(f.stack, e) }
+
+// newLimit returns a bounded generator over g, reusing a pooled
+// workload.Limit when one is free (fill recycles them as stack entries
+// drain; see recycleLimit).
+func (k *Kernel) newLimit(g workload.Generator, n uint64) *workload.Limit {
+	if p := len(k.limitPool) - 1; p >= 0 {
+		l := k.limitPool[p]
+		k.limitPool = k.limitPool[:p]
+		l.G = g
+		l.N = n
+		return l
+	}
+	return &workload.Limit{G: g, N: n}
+}
+
+// recycleLimit returns an exhausted generator to the freelist if it is a
+// bare pooled Limit (wrapped generators — Tail, modeForce — are not pooled).
+func (k *Kernel) recycleLimit(g workload.Generator) {
+	if l, ok := g.(*workload.Limit); ok {
+		l.G = nil
+		l.N = 0
+		k.limitPool = append(k.limitPool, l)
+	}
+}
+
+// limit returns a pooled generator for n instructions of rw's code on ctx.
+func (k *Kernel) limit(rw *regionWalker, ctx, n int) workload.Generator {
+	return k.newLimit(rw.walker(ctx), uint64(n))
+}
 
 // wrap stamps a raw instruction with a template's identity fields.
 func wrap(in isa.Inst, tmpl pipeline.FedInst) pipeline.FedInst {
@@ -72,12 +107,12 @@ func (k *Kernel) InstAt(ctx int, idx uint64) (pipeline.FedInst, bool) {
 		return pipeline.FedInst{}, false
 	}
 	off := idx - f.base
-	for uint64(len(f.buf)) <= off {
+	for uint64(len(f.buf)-f.head) <= off {
 		if !k.fill(ctx) {
 			return pipeline.FedInst{}, false
 		}
 	}
-	return f.buf[off], true
+	return f.buf[f.head+int(off)], true
 }
 
 // Retired implements pipeline.Feed.
@@ -87,11 +122,21 @@ func (k *Kernel) Retired(ctx int, idx uint64, in *pipeline.FedInst) {
 		return
 	}
 	off := idx - f.base + 1
-	if off > uint64(len(f.buf)) {
-		off = uint64(len(f.buf))
+	if off > uint64(len(f.buf)-f.head) {
+		off = uint64(len(f.buf) - f.head)
 	}
-	f.buf = f.buf[off:]
+	f.head += int(off)
 	f.base = idx + 1
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head >= 1024 && f.head >= len(f.buf)-f.head {
+		// Amortized compaction: once the dead prefix outweighs the live
+		// tail, slide the tail to the front so capacity is reused.
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
 	if in.Class == isa.PALReturn && in.Sys == sys.SysExit {
 		k.finishExit(in.TID)
 	}
@@ -122,14 +167,17 @@ func (k *Kernel) Trap(ctx int, idx uint64, in *pipeline.FedInst, kind pipeline.T
 		return
 	}
 	off := int(idx - f.base)
-	if off < 0 || off > len(f.buf) {
-		panic(fmt.Sprintf("kernel: trap splice at %d outside buffer [%d,%d)", idx, f.base, f.base+uint64(len(f.buf))))
+	if off < 0 || off > len(f.buf)-f.head {
+		panic(fmt.Sprintf("kernel: trap splice at %d outside buffer [%d,%d)", idx, f.base, f.base+uint64(len(f.buf)-f.head)))
 	}
-	nb := make([]pipeline.FedInst, 0, len(f.buf)+len(handler))
-	nb = append(nb, f.buf[:off]...)
-	nb = append(nb, handler...)
-	nb = append(nb, f.buf[off:]...)
-	f.buf = nb
+	// In-place splice: grow the buffer, slide the tail right, copy the
+	// handler in. Amortized this reuses the buffer's capacity instead of
+	// allocating a fresh buffer per trap.
+	pos := f.head + off
+	n := len(handler)
+	f.buf = append(f.buf, handler...)
+	copy(f.buf[pos+n:], f.buf[pos:])
+	copy(f.buf[pos:], handler)
 }
 
 // Cycle implements pipeline.Feed: clock/network interrupt generation at the
@@ -230,7 +278,7 @@ func (k *Kernel) dtlbHandler(ctx int, in *pipeline.FedInst, vaddr uint64) []pipe
 	tmplPAL := *in
 	tmplPAL.Cat = sys.CatDTLB
 	tmplPAL.Sys = 0
-	out := drainAs(k.code.palDTLB.limit(ctx, palDTLBLen), tmplPAL, isa.PAL)
+	out := k.drainRegion(k.handlerBuf[:0], k.code.palDTLB, ctx, palDTLBLen, tmplPAL, isa.PAL)
 	if kind != mem.FaultNone {
 		tmplVM := tmplPAL
 		n := vmFaultLen
@@ -244,9 +292,10 @@ func (k *Kernel) dtlbHandler(ctx int, in *pipeline.FedInst, vaddr uint64) []pipe
 			k.hier.FlushIRange(base, mem.PageSize)
 			k.hier.FlushDRange(base, mem.PageSize)
 		}
-		out = append(out, drainAs(k.code.vm.limit(ctx, n), tmplVM, isa.Kernel)...)
+		out = k.drainRegion(out, k.code.vm, ctx, n, tmplVM, isa.Kernel)
 	}
 	out = append(out, palReturn(k.code.palDTLB.reg.Base, tmplPAL))
+	k.handlerBuf = out
 	return out
 }
 
@@ -267,11 +316,12 @@ func (k *Kernel) itlbHandler(ctx int, in *pipeline.FedInst, vaddr uint64) []pipe
 	tmpl := *in
 	tmpl.Cat = sys.CatITLB
 	tmpl.Sys = 0
-	out := drainAs(k.code.palITLB.limit(ctx, palITLBLen), tmpl, isa.PAL)
+	out := k.drainRegion(k.handlerBuf[:0], k.code.palITLB, ctx, palITLBLen, tmpl, isa.PAL)
 	if kind != mem.FaultNone {
-		out = append(out, drainAs(k.code.vm.limit(ctx, vmFaultLen), tmpl, isa.Kernel)...)
+		out = k.drainRegion(out, k.code.vm, ctx, vmFaultLen, tmpl, isa.Kernel)
 	}
 	out = append(out, palReturn(k.code.palITLB.reg.Base, tmpl))
+	k.handlerBuf = out
 	return out
 }
 
@@ -284,14 +334,15 @@ func (k *Kernel) interruptHandler(ctx int) []pipeline.FedInst {
 		tid = f.cur.tid
 	}
 	tmpl := kthreadTmpl(tid, sys.CatInterrupt)
-	out := drainAs(k.code.palIntr.limit(ctx, palIntrLen), tmpl, isa.PAL)
+	out := k.drainRegion(k.handlerBuf[:0], k.code.palIntr, ctx, palIntrLen, tmpl, isa.PAL)
 	n := clockIntrLen
 	if f.intrNet {
 		n = intrDevLen
 	}
-	out = append(out, drainAs(k.code.intrDev.limit(ctx, n), tmpl, isa.Kernel)...)
+	out = k.drainRegion(out, k.code.intrDev, ctx, n, tmpl, isa.Kernel)
 	out = append(out, palReturn(k.code.palIntr.reg.Base, tmpl))
 	f.intrNet = false
+	k.handlerBuf = out
 	return out
 }
 
@@ -300,18 +351,26 @@ func agentFor(in *pipeline.FedInst) conflict.Agent {
 	return conflict.Agent{TID: in.TID, Priv: in.Mode.Privileged()}
 }
 
-// drainAs runs a generator to exhaustion, stamping instructions with tmpl
-// and forcing the given mode.
-func drainAs(g workload.Generator, tmpl pipeline.FedInst, mode isa.Mode) []pipeline.FedInst {
-	var out []pipeline.FedInst
+// drainAs runs a generator to exhaustion, appending its instructions to dst
+// stamped with tmpl and forced to the given mode.
+func drainAs(dst []pipeline.FedInst, g workload.Generator, tmpl pipeline.FedInst, mode isa.Mode) []pipeline.FedInst {
 	for {
 		in, ok := g.Next()
 		if !ok {
-			return out
+			return dst
 		}
 		in.Mode = mode
-		out = append(out, wrap(in, tmpl))
+		dst = append(dst, wrap(in, tmpl))
 	}
+}
+
+// drainRegion appends n instructions of rw's code for ctx to dst, recycling
+// the bounding Limit when the traversal completes.
+func (k *Kernel) drainRegion(dst []pipeline.FedInst, rw *regionWalker, ctx, n int, tmpl pipeline.FedInst, mode isa.Mode) []pipeline.FedInst {
+	l := k.newLimit(rw.walker(ctx), uint64(n))
+	dst = drainAs(dst, l, tmpl, mode)
+	k.recycleLimit(l)
+	return dst
 }
 
 // ------------------------------------------------------------ generation
@@ -334,6 +393,7 @@ func (k *Kernel) fill(ctx int) bool {
 				return true
 			}
 			done := top.done
+			k.recycleLimit(top.g)
 			f.stack = f.stack[:n-1]
 			k.runAction(ctx, done)
 			continue
@@ -357,7 +417,7 @@ func (k *Kernel) fill(ctx int) bool {
 				return false
 			}
 			f.push(genEntry{
-				g:    k.code.idle.limit(ctx, idleChunk),
+				g:    k.limit(k.code.idle, ctx, idleChunk),
 				tmpl: kthreadTmpl(t.tid, sys.CatIdle),
 			})
 		case tkNetisr:
@@ -401,7 +461,7 @@ func (k *Kernel) schedule(ctx int) {
 	}
 	tmpl := kthreadTmpl(next.tid, sys.CatSched)
 	f.push(genEntry{
-		g:    k.code.sched.limit(ctx, schedLen),
+		g:    k.limit(k.code.sched, ctx, schedLen),
 		tmpl: tmpl,
 		done: action{Kind: actSwitchTo, TID: next.tid},
 	})
@@ -419,7 +479,7 @@ func (k *Kernel) userStep(ctx int, t *Thread) bool {
 		t.burst -= n
 		t.sinceSched += n
 		f.push(genEntry{
-			g:    &workload.Limit{G: t.prog.Walker(), N: n},
+			g:    k.newLimit(t.prog.Walker(), n),
 			tmpl: tmplFor(t, sys.CatUser, 0),
 		})
 		return true
@@ -504,7 +564,7 @@ func (k *Kernel) enterSyscall(ctx int) {
 	}
 	// Stack order: pushed last runs first.
 	f.push(genEntry{
-		g:    k.code.services[req.Num].limit(ctx, dynLen(req)),
+		g:    k.limit(k.code.services[req.Num], ctx, dynLen(req)),
 		tmpl: tmplFor(t, sys.CatSyscall, req.Num),
 		done: action{Kind: actSvcDone, TID: t.tid, Req: req},
 	})
@@ -516,18 +576,18 @@ func (k *Kernel) enterSyscall(ctx int) {
 			k.hierDMA.DMA((req.Bytes+63)/64+1, k.lastTick)
 		}
 		f.push(genEntry{
-			g:    k.code.disk.limit(ctx, diskDriverLen),
+			g:    k.limit(k.code.disk, ctx, diskDriverLen),
 			tmpl: tmplFor(t, sys.CatSyscall, req.Num),
 		})
 	}
 	k.pushLockAcquire(ctx, t, req.Resource, sys.CatSyscall, req.Num)
 	f.push(genEntry{
-		g:    k.code.preamble.limit(ctx, preambleLen),
+		g:    k.limit(k.code.preamble, ctx, preambleLen),
 		tmpl: tmplFor(t, sys.CatSyscall, req.Num),
 	})
 	palTmpl := tmplFor(t, sys.CatSyscall, req.Num)
 	f.push(genEntry{
-		g:    &modeForce{g: k.code.palSys.limit(ctx, palSysEntryLen), mode: isa.PAL},
+		g:    &modeForce{g: k.limit(k.code.palSys, ctx, palSysEntryLen), mode: isa.PAL},
 		tmpl: palTmpl,
 	})
 }
@@ -560,7 +620,7 @@ func (k *Kernel) pushLockAcquire(ctx int, t *Thread, res sys.Resource, cat sys.C
 		// The spin must run before the lock is considered taken; it is
 		// pushed after the acquire marker below, so it executes first.
 		defer f.push(genEntry{
-			g:    k.code.spin.limit(ctx, n),
+			g:    k.limit(k.code.spin, ctx, n),
 			tmpl: tm,
 		})
 	}
@@ -607,7 +667,7 @@ func (k *Kernel) resumeBlockedSyscall(ctx int, t *Thread) {
 	}
 	k.pushSvcReturn(ctx, t, req, res)
 	f.push(genEntry{
-		g:    k.code.services[req.Num].limit(ctx, dynLen(req)/3),
+		g:    k.limit(k.code.services[req.Num], ctx, dynLen(req)/3),
 		tmpl: tmplFor(t, sys.CatSyscall, req.Num),
 	})
 }
@@ -633,7 +693,7 @@ func (k *Kernel) exitThread(ctx int, t *Thread) {
 	}
 	f.push(genEntry{
 		g: &workload.Tail{
-			G:     k.code.services[sys.SysExit].limit(ctx, dynLen(sys.Request{Num: sys.SysExit})),
+			G:     k.limit(k.code.services[sys.SysExit], ctx, dynLen(sys.Request{Num: sys.SysExit})),
 			Extra: []isa.Inst{ret},
 		},
 		tmpl: tmplFor(t, sys.CatSyscall, sys.SysExit),
@@ -687,7 +747,7 @@ func (k *Kernel) crashWorker(ctx int, t *Thread) {
 	}
 	f.push(genEntry{
 		g: &workload.Tail{
-			G:     k.code.services[sys.SysExit].limit(ctx, dynLen(sys.Request{Num: sys.SysExit})),
+			G:     k.limit(k.code.services[sys.SysExit], ctx, dynLen(sys.Request{Num: sys.SysExit})),
 			Extra: []isa.Inst{ret},
 		},
 		tmpl: tmplFor(t, sys.CatSyscall, sys.SysExit),
@@ -719,7 +779,7 @@ func (k *Kernel) respawnWorker(ctx int) {
 	tmpl := kthreadTmpl(nt.tid, sys.CatSyscall)
 	tmpl.Sys = sys.SysFork
 	k.feeds[ctx].push(genEntry{
-		g:    k.code.services[sys.SysFork].limit(ctx, dynLen(forkReq)),
+		g:    k.limit(k.code.services[sys.SysFork], ctx, dynLen(forkReq)),
 		tmpl: tmpl,
 	})
 }

@@ -121,7 +121,7 @@ func (k *Kernel) netisrStep(ctx int, t *Thread) bool {
 	ns.pending = ns.pending[n:]
 	f := &k.feeds[ctx]
 	f.push(genEntry{
-		g:    k.code.netisr.limit(ctx, n*netisrFrameLen),
+		g:    k.limit(k.code.netisr, ctx, n*netisrFrameLen),
 		tmpl: kthreadTmpl(t.tid, sys.CatNetisr),
 		done: action{Kind: actNetisrDone, TID: t.tid, Batch: batch},
 	})

@@ -249,7 +249,7 @@ func (k *Kernel) Snapshot() Snapshot {
 	for i := range k.feeds {
 		f := &k.feeds[i]
 		fs := &s.Feeds[i]
-		fs.Buf = append([]pipeline.FedInst(nil), f.buf...)
+		fs.Buf = append([]pipeline.FedInst(nil), f.buf[f.head:]...)
 		fs.Base = f.base
 		fs.Paused = f.paused
 		fs.PendingReq = f.pendingReq
@@ -400,6 +400,7 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 		f := &k.feeds[i]
 		fs := &s.Feeds[i]
 		f.buf = append(f.buf[:0], fs.Buf...)
+		f.head = 0
 		f.base = fs.Base
 		f.paused = fs.Paused
 		f.pendingReq = fs.PendingReq

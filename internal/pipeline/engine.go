@@ -1,9 +1,7 @@
 package pipeline
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"repro/internal/conflict"
 	"repro/internal/isa"
@@ -61,7 +59,7 @@ func (e *Engine) deliverInterrupt(ctx int) {
 
 func (e *Engine) completions() {
 	for len(e.events) > 0 && e.events[0].at <= e.now {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		c := &e.ctxs[ev.ctx]
 		u := e.lookup(c, ev.seq, ev.id)
 		if u == nil {
@@ -167,7 +165,12 @@ func (e *Engine) retire() {
 			if u.in.Class == isa.PALCall && u.in.Syscall != 0 {
 				e.Metrics.SyscallsSeen++
 			}
-			idx, in := u.idx, u.in
+			// Copy into the engine-owned scratch before freeing the slot:
+			// passing &local would force a heap allocation per retired
+			// instruction (the pointer escapes into the Feed call).
+			idx := u.idx
+			e.retireScratch = u.in
+			in := &e.retireScratch
 			e.freeRes(u)
 			u.id = 0
 			c.head = (c.head + 1) & (len(c.rob) - 1)
@@ -179,7 +182,7 @@ func (e *Engine) retire() {
 			c.lastCat, c.lastMode, c.lastSys = in.Cat, in.Mode, in.Sys
 			c.lastTID = in.TID
 			budget--
-			e.Feed.Retired(ctx, idx, &in)
+			e.Feed.Retired(ctx, idx, in)
 		}
 	}
 	e.rrRetire = (e.rrRetire + 1) % n
@@ -195,12 +198,13 @@ func (e *Engine) storeAccess(u *uop) {
 // head of context ctx.
 func (e *Engine) trapAtHead(ctx int, c *ctxState, u *uop) {
 	e.Metrics.DTLBTraps++
-	idx, in, vaddr := u.idx, u.in, u.in.Addr
+	idx, vaddr := u.idx, u.in.Addr
+	e.trapScratch = u.in // copy before squash frees the slot; &local would escape
 	e.squashAll(c)
 	c.fetchIdx = idx
 	c.wrong = nil
 	c.redirectAt = e.now + uint64(e.Cfg.RedirectPenalty)
-	e.Feed.Trap(ctx, idx, &in, TrapDTLB, vaddr)
+	e.Feed.Trap(ctx, idx, &e.trapScratch, TrapDTLB, vaddr)
 }
 
 // ---------------------------------------------------------------- dispatch
@@ -363,7 +367,7 @@ func (e *Engine) issueQueue(q []qref, try func(u *uop, c *ctxState, ctx int) boo
 		}
 		u.state = stIssued
 		u.inQueue = false
-		heap.Push(&e.events, event{at: u.doneAt, ctx: ref.ctx, seq: ref.seq, id: ref.id})
+		e.events.push(event{at: u.doneAt, ctx: ref.ctx, seq: ref.seq, id: ref.id})
 	}
 	return out
 }
@@ -451,17 +455,17 @@ func (e *Engine) fetch() {
 	e.Metrics.FetchableSum += uint64(len(f))
 
 	// ICOUNT: prefer contexts with the fewest in-flight instructions
-	// (or plain rotation under the round-robin ablation).
+	// (or plain rotation under the round-robin ablation). The rotation-
+	// distance tie-break makes the order a strict total order, so this
+	// closure-free insertion sort (stable by construction) yields exactly
+	// the ordering sort.SliceStable produced, at ≤8 elements and with no
+	// per-cycle closure/swapper allocation.
 	rr := e.rrFetch
-	sort.SliceStable(f, func(i, j int) bool {
-		if !e.Cfg.RoundRobinFetch {
-			si, sj := e.ctxs[f[i]].sz, e.ctxs[f[j]].sz
-			if si != sj {
-				return si < sj
-			}
+	for i := 1; i < len(f); i++ {
+		for j := i; j > 0 && e.fetchLess(f[j], f[j-1], rr); j-- {
+			f[j], f[j-1] = f[j-1], f[j]
 		}
-		return (f[i]-rr+e.Cfg.Contexts)%e.Cfg.Contexts < (f[j]-rr+e.Cfg.Contexts)%e.Cfg.Contexts
-	})
+	}
 	e.rrFetch = (e.rrFetch + 1) % e.Cfg.Contexts
 
 	width := e.Cfg.FetchWidth
@@ -476,20 +480,35 @@ func (e *Engine) fetch() {
 	}
 }
 
+// fetchLess is the ICOUNT fetch-priority order: fewest in-flight
+// instructions first, rotation distance from rr breaking ties.
+func (e *Engine) fetchLess(a, b, rr int) bool {
+	if !e.Cfg.RoundRobinFetch {
+		if sa, sb := e.ctxs[a].sz, e.ctxs[b].sz; sa != sb {
+			return sa < sb
+		}
+	}
+	n := e.Cfg.Contexts
+	return (a-rr+n)%n < (b-rr+n)%n
+}
+
 // fetchCtx fetches up to width instructions from one context, returning the
 // number fetched.
 func (e *Engine) fetchCtx(ctx, width int) int {
 	c := &e.ctxs[ctx]
 	n := 0
 	firstLine := true
+	// fin aliases engine-owned scratch: its address flows into Feed interface
+	// calls (Trap/Translate), so a per-iteration local would be forced to the
+	// heap on every fetchCtx call.
+	fin := &e.fetchScratch
 	for n < width && !c.full() {
-		var fin FedInst
 		fromWrong := c.wrong != nil
 		if fromWrong {
-			fin = c.wrong.next()
+			*fin = c.wrong.next()
 		} else {
 			var ok bool
-			fin, ok = e.Feed.InstAt(ctx, c.fetchIdx)
+			*fin, ok = e.Feed.InstAt(ctx, c.fetchIdx)
 			if !ok {
 				break
 			}
@@ -504,11 +523,11 @@ func (e *Engine) fetchCtx(ctx, width int) int {
 				c.lastILine = line
 				firstLine = false
 			} else {
-				paddr, ok := e.ifetchTranslate(ctx, &fin, fromWrong)
+				paddr, ok := e.ifetchTranslate(ctx, fin, fromWrong)
 				if !ok {
 					break // ITLB trap spliced (correct path) or wrong path stalled
 				}
-				res := e.Hier.AccessI(paddr, agentOf(&fin), e.now)
+				res := e.Hier.AccessI(paddr, agentOf(fin), e.now)
 				if res.Stall {
 					break
 				}
@@ -525,12 +544,12 @@ func (e *Engine) fetchCtx(ctx, width int) int {
 		if !fromWrong {
 			c.fetchIdx++
 		}
-		u := e.push(c, fin, fromWrong)
+		u := e.push(c, *fin, fromWrong)
 		e.Metrics.Fetched++
 		n++
 
 		if fin.Class.IsBranch() && !fromWrong {
-			ag := agentOf(&fin)
+			ag := agentOf(fin)
 			pred := e.Pred.Predict(ctx, &fin.Inst, ag)
 			misp := e.Pred.Resolve(ctx, &fin.Inst, pred, ag)
 			if misp {
@@ -539,7 +558,7 @@ func (e *Engine) fetchCtx(ctx, width int) int {
 				if pred.Taken && pred.Target != 0 {
 					wpc = pred.Target
 				}
-				c.wrong = newWrongGen(wpc, fin)
+				c.startWrong(wpc, *fin)
 				break
 			}
 			if fin.ControlTransfer() {

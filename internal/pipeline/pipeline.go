@@ -224,18 +224,54 @@ type event struct {
 	id  uint64
 }
 
+// eventHeap is a typed min-heap ordered by completion cycle. It implements
+// the exact sift algorithms of container/heap so that the raw array layout
+// (which the checkpoint snapshot copies verbatim) is bit-identical to the
+// previous container/heap-based implementation — but without boxing every
+// event through interface{} on the per-cycle hot path.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push inserts ev, restoring the heap property by sifting up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if q[j].at >= q[i].at {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum element. It mirrors container/heap.Pop:
+// swap the root with the last element, sift the new root down over the
+// shortened heap, then strip the tail.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].at < q[j1].at {
+			j = j2
+		}
+		if q[j].at >= q[i].at {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	ev := q[n]
+	*h = q[:n]
+	return ev
 }
 
 // wrongGen generates wrong-path junk instructions from a mispredicted
@@ -247,8 +283,11 @@ type wrongGen struct {
 	tmpl  FedInst
 }
 
-func newWrongGen(pc uint64, tmpl FedInst) *wrongGen {
-	return &wrongGen{pc: pc, state: pc ^ 0x9e3779b97f4a7c15, tmpl: tmpl}
+// startWrong (re)initializes the context's embedded wrong-path generator and
+// installs it; the zero-allocation replacement for the old newWrongGen.
+func (c *ctxState) startWrong(pc uint64, tmpl FedInst) {
+	c.wrongBuf = wrongGen{pc: pc, state: pc ^ 0x9e3779b97f4a7c15, tmpl: tmpl}
+	c.wrong = &c.wrongBuf
 }
 
 func (w *wrongGen) next() FedInst {
@@ -286,7 +325,11 @@ type ctxState struct {
 	icacheReadyAt uint64
 	redirectAt    uint64
 	wrong         *wrongGen
-	lastILine     uint64
+	// wrongBuf is the backing store for wrong: mispredictions are frequent
+	// enough that allocating a fresh generator per wrong path shows up in
+	// profiles, so wrong always points at this embedded value.
+	wrongBuf  wrongGen //detlint:ignore snapshotcomplete backing store; serialized through the wrong pointer's fields
+	lastILine uint64
 	// hadWork records whether the context had anything to fetch this
 	// cycle; attribution uses it to distinguish a drained-but-stalled
 	// context from a truly idle one.
@@ -408,7 +451,10 @@ type Engine struct {
 	rrRetire         int
 	rrFetch          int
 	rrDispatch       int
-	fetchableScratch []int //detlint:ignore snapshotcomplete scratch buffer, carries no state across cycles
+	fetchableScratch []int   //detlint:ignore snapshotcomplete scratch buffer, carries no state across cycles
+	retireScratch    FedInst //detlint:ignore snapshotcomplete scratch copy handed to Feed.Retired, dead after the call
+	trapScratch      FedInst //detlint:ignore snapshotcomplete scratch copy handed to Feed.Trap, dead after the call
+	fetchScratch     FedInst //detlint:ignore snapshotcomplete scratch for the instruction being fetched, dead after fetchCtx
 }
 
 // New builds an engine over the given feed and hardware structures.
@@ -425,6 +471,14 @@ func New(cfg Config, feed Feed, hier *cache.Hierarchy) *Engine {
 		Pred: bpred.New(cfg.Contexts),
 		SB:   cache.NewStoreBuffer(hier.Cfg.StoreBufferEntries),
 		ctxs: make([]ctxState, cfg.Contexts),
+		// Preallocate every per-cycle scratch structure at its steady-state
+		// bound so the cycle loop never grows a slice: the issue queues are
+		// hard-capped by configuration, the completion heap by the total
+		// in-flight window, and the fetchable set by the context count.
+		events:           make(eventHeap, 0, cfg.Contexts*cfg.ROBSize),
+		intQ:             make([]qref, 0, cfg.IntQueueSize),
+		fpQ:              make([]qref, 0, cfg.FPQueueSize),
+		fetchableScratch: make([]int, 0, cfg.Contexts),
 	}
 	for i := range e.ctxs {
 		e.ctxs[i].rob = make([]uop, cfg.ROBSize)

@@ -226,7 +226,8 @@ func (e *Engine) Restore(s Snapshot) error {
 		c.icacheReadyAt, c.redirectAt = cs.ICacheReadyAt, cs.RedirectAt
 		c.wrong = nil
 		if cs.HasWrong {
-			c.wrong = &wrongGen{pc: cs.WrongPC, state: cs.WrongState, tmpl: cs.WrongTmpl}
+			c.wrongBuf = wrongGen{pc: cs.WrongPC, state: cs.WrongState, tmpl: cs.WrongTmpl}
+			c.wrong = &c.wrongBuf
 		}
 		c.lastILine = cs.LastILine
 		c.hadWork = cs.HadWork
