@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race audit ckpt-smoke bench-smoke bench run experiments
+.PHONY: check build vet lint test race audit ckpt-smoke bench-smoke sample-smoke bench bench-diff run experiments
 
 # check is the full verification gate: compile, vet, the determinism linter,
 # the whole test suite, a fast race pass (Quick-scale simulations skip under
 # -short, so the race leg stays cheap while still covering the worker pool
 # and fault-injection paths), an audited simulation leg, a checkpoint
-# save/restore round trip, and a one-iteration benchmark smoke.
-check: build vet lint test race audit ckpt-smoke bench-smoke
+# save/restore round trip, a sampled-mode determinism smoke, and a
+# one-iteration benchmark smoke.
+check: build vet lint test race audit ckpt-smoke sample-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,18 @@ ckpt-smoke:
 		-audit 150000 > /dev/null
 	rm -f /tmp/ossmt-smoke.ckpt
 
+# sample-smoke proves the sampled mode's determinism contract end to end
+# through the CLI — two identical sampled runs must produce byte-identical
+# output — and runs the sampled-vs-full error-band test at Quick scale.
+sample-smoke:
+	$(GO) run ./cmd/ossmt -workload apache -warmup 100000 -cycles 400000 \
+		-sample -sample-period 100000 -sample-window 5000 > /tmp/ossmt-sample-a.txt
+	$(GO) run ./cmd/ossmt -workload apache -warmup 100000 -cycles 400000 \
+		-sample -sample-period 100000 -sample-window 5000 > /tmp/ossmt-sample-b.txt
+	cmp /tmp/ossmt-sample-a.txt /tmp/ossmt-sample-b.txt
+	rm -f /tmp/ossmt-sample-a.txt /tmp/ossmt-sample-b.txt
+	$(GO) test -run 'TestSamplingAblationWithinBand' ./internal/experiments
+
 # bench-smoke runs every benchmark exactly once — it exists to catch
 # crashes in bench-only code paths, not to measure anything.
 bench-smoke:
@@ -54,6 +67,19 @@ bench:
 	cat /tmp/bench.out
 	$(GO) run ./cmd/benchjson -date $$(date +%F) < /tmp/bench.out > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json
+
+# bench-diff reruns the benchmark suite and compares it against the newest
+# committed BENCH_<date>.json baseline, failing on ns/op regressions (see
+# cmd/benchjson -diff). The tool's default gate is 10%, tuned for quiet
+# dedicated hardware; single-iteration timing on shared/virtualized runners
+# swings by double digits run to run, so this target defaults to a wider
+# threshold. Override with BENCHDIFF_THRESHOLD=10 on a quiet box.
+BENCHDIFF_THRESHOLD ?= 30
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /tmp/bench-diff.out
+	$(GO) run ./cmd/benchjson -date $$(date +%F) < /tmp/bench-diff.out > /tmp/bench-diff.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCHDIFF_THRESHOLD) \
+		$$(ls BENCH_*.json | sort | tail -1) /tmp/bench-diff.json
 
 # run is a small demo simulation.
 run:

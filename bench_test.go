@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -111,17 +113,44 @@ func BenchmarkAblationServerProcesses(b *testing.B) { runExperiment(b, "ablation
 // cycles per second) on the Apache workload — an engineering metric, not a
 // paper artifact.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	// Collect garbage left by earlier benchmarks in the same binary so GC
+	// pressure from their heaps does not distort the throughput numbers.
+	runtime.GC()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run("fig5", experiments.Scale{
-			Warmup: 100_000, Measure: 200_000, Interval: 60_000,
+			Warmup: 200_000, Measure: 1_800_000, Interval: 60_000,
 		}, uint64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
 		_ = res
 	}
-	b.ReportMetric(float64(300_000)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(2_000_000)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
 }
+
+// BenchmarkSimulatorThroughputSampled measures the same workload and scale
+// as BenchmarkSimulatorThroughput in sampled mode (fast-forward with
+// warming between detailed windows). The simcycles/s ratio between the two
+// is the sampled-mode speedup.
+func BenchmarkSimulatorThroughputSampled(b *testing.B) {
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("fig5", experiments.Scale{
+			Warmup: 200_000, Measure: 1_800_000, Interval: 60_000,
+			Sampling: core.Sampling{Period: 250_000, DetailWindow: 5_000},
+		}, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(2_000_000)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkAblationSampling regenerates the sampled-vs-full validation.
+func BenchmarkAblationSampling(b *testing.B) { runExperiment(b, "ablation-sampling") }
 
 // BenchmarkAblationNetworkDMA tests the paper's §2.2.1 claim that omitting
 // NIC DMA from the memory bus does not change the bottom line.

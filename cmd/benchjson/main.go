@@ -9,6 +9,17 @@
 // (ns/op, allocs/op, and custom ones like simcycles/s). The converter is a
 // pure function of its input: identical bench output yields identical
 // bytes, so artifact diffs show performance changes only.
+//
+// With -diff it instead compares two artifacts:
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json
+//
+// printing the per-benchmark ns/op delta (plus any custom metrics) and
+// exiting 1 if any benchmark regressed by more than -threshold percent
+// (default 10). Benchmarks present on only one side are reported but never
+// fail the diff, and benchmarks faster than -floor nanoseconds on both
+// sides are reported but not gated: at -benchtime 1x a sub-millisecond
+// measurement is dominated by scheduler and cache noise, not code changes.
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,7 +57,18 @@ type document struct {
 
 func main() {
 	date := flag.String("date", "", "date stamp recorded in the artifact (the caller supplies it so the converter itself stays deterministic)")
+	diff := flag.Bool("diff", false, "compare two artifacts: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 10, "with -diff, exit 1 if ns/op regresses by more than this percent")
+	floor := flag.Float64("floor", 1e6, "with -diff, ignore regressions when both sides run faster than this many ns/op (timing noise)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(diffArtifacts(flag.Arg(0), flag.Arg(1), *threshold, *floor))
+	}
 
 	doc := document{Date: *date}
 	var pkg string
@@ -79,6 +102,93 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// diffArtifacts prints per-benchmark deltas between two artifacts and
+// returns the process exit code: 1 if any ns/op regression exceeds
+// threshold percent on a benchmark at or above the floor, 0 otherwise.
+func diffArtifacts(oldPath, newPath string, threshold, floor float64) int {
+	oldDoc, err := loadArtifact(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newDoc, err := loadArtifact(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	keyOf := func(r record) string { return r.Pkg + "." + r.Name }
+	old := make(map[string]record, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		old[keyOf(r)] = r
+	}
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	regressed := false
+	for _, nr := range newDoc.Benchmarks {
+		k := keyOf(nr)
+		seen[k] = true
+		or, ok := old[k]
+		if !ok {
+			fmt.Printf("%-60s new benchmark (%.0f ns/op)\n", k, nr.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := or.Metrics["ns/op"], nr.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			fmt.Printf("%-60s no ns/op on one side, skipped\n", k)
+			continue
+		}
+		pct := 100 * (newNs - oldNs) / oldNs
+		verdict := "ok"
+		switch {
+		case oldNs < floor && newNs < floor:
+			verdict = "below floor, not gated"
+		case pct > threshold:
+			verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", threshold)
+			regressed = true
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", k, oldNs, newNs, pct, verdict)
+		for _, unit := range sortedUnits(nr.Metrics) {
+			ov, ook := or.Metrics[unit]
+			if unit == "ns/op" || !ook || ov == 0 {
+				continue
+			}
+			fmt.Printf("    %-56s %12.4g -> %12.4g %s  %+7.1f%%\n",
+				"", ov, nr.Metrics[unit], unit, 100*(nr.Metrics[unit]-ov)/ov)
+		}
+	}
+	for _, or := range oldDoc.Benchmarks {
+		if k := keyOf(or); !seen[k] {
+			fmt.Printf("%-60s removed\n", k)
+		}
+	}
+	if regressed {
+		fmt.Printf("FAIL: at least one benchmark regressed by more than %.0f%% ns/op\n", threshold)
+		return 1
+	}
+	return 0
+}
+
+func loadArtifact(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// sortedUnits returns metric units in a stable order.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 // parseBench decodes one result line of the form

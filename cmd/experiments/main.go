@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -32,17 +33,20 @@ func main() {
 
 func run() int {
 	var (
-		runID      = flag.String("run", "", "experiment id to run (empty = all)")
-		quick      = flag.Bool("quick", false, "reduced cycle budget")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		seeds      = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
-		list       = flag.Bool("list", false, "list experiment ids")
-		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (implies supervised runs)")
-		timeout    = flag.Duration("timeout", 0, "per-experiment wall-clock budget; on a trip the experiment retries once, resuming from checkpoints (0 = none)")
-		auditAt    = flag.Uint64("audit", 0, "run the invariant auditor every N cycles during each experiment (0 = off)")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for independent (experiment, seed) jobs; results are ordered, so output is identical for any value")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		runID        = flag.String("run", "", "experiment id to run (empty = all)")
+		quick        = flag.Bool("quick", false, "reduced cycle budget")
+		seed         = flag.Uint64("seed", 1, "simulation seed")
+		seeds        = flag.Int("seeds", 1, "run with this many seeds and report mean +/- spread of key values")
+		list         = flag.Bool("list", false, "list experiment ids")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON (implies supervised runs)")
+		timeout      = flag.Duration("timeout", 0, "per-experiment wall-clock budget; on a trip the experiment retries once, resuming from checkpoints (0 = none)")
+		auditAt      = flag.Uint64("audit", 0, "run the invariant auditor every N cycles during each experiment (0 = off)")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for independent (experiment, seed) jobs; results are ordered, so output is identical for any value")
+		sample       = flag.Bool("sample", false, "run simulations in sampled mode (fast-forward with warming between detailed windows); percentage metrics stay comparable, raw counters do not")
+		samplePeriod = flag.Uint64("sample-period", 200_000, "cycles per sampling period (with -sample)")
+		sampleWindow = flag.Uint64("sample-window", 0, "detailed window per period in cycles (0 = period/10, with -sample)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -92,6 +96,11 @@ func run() int {
 	sc := experiments.Full
 	if *quick {
 		sc = experiments.Quick
+	}
+	if *sample {
+		// One mutation before dispatch covers every path below (plain,
+		// multi-seed, supervised, JSON): they all carry sc by value.
+		sc.Sampling = core.Sampling{Period: *samplePeriod, DetailWindow: *sampleWindow}
 	}
 	ids := experiments.IDs()
 	if *runID != "" {

@@ -49,6 +49,11 @@ func run() int {
 		rrFetch  = flag.Bool("rrfetch", false, "round-robin fetch instead of ICOUNT")
 		perProg  = flag.Bool("perthread", false, "print a per-thread breakdown")
 
+		// Sampled simulation (see EXPERIMENTS.md, "Sampled runs").
+		sample       = flag.Bool("sample", false, "sampled simulation: fast-forward with warming between detailed windows")
+		samplePeriod = flag.Uint64("sample-period", 200_000, "cycles per sampling period (with -sample)")
+		sampleWindow = flag.Uint64("sample-window", 0, "detailed window per period in cycles (0 = period/10, with -sample)")
+
 		// Fault injection (see FAULTS.md).
 		loss      = flag.Float64("loss", 0, "per-frame network loss probability [0,1]")
 		corrupt   = flag.Float64("corrupt", 0, "per-frame network corruption probability [0,1]")
@@ -118,6 +123,9 @@ func run() int {
 			CrashRate:      *crashRate,
 			LivelockWindow: *watchdog,
 		},
+	}
+	if *sample {
+		opts.Sampling = core.Sampling{Period: *samplePeriod, DetailWindow: *sampleWindow}
 	}
 	switch *proc {
 	case "smt":

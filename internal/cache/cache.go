@@ -99,6 +99,13 @@ func (c *Cache) set(lineAddr uint64) []line {
 	return c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
 }
 
+// locate decodes paddr into its line address and the set that can hold it —
+// the single address-decode path shared by Access and Probe.
+func (c *Cache) locate(paddr uint64) (la uint64, set []line) {
+	la = paddr >> c.lineShift
+	return la, c.set(la)
+}
+
 // Access looks up paddr for agent ag; write marks the line dirty. On a miss
 // the line is allocated (evicting LRU within the set) and the miss is
 // classified. The return value is true on a hit.
@@ -106,8 +113,7 @@ func (c *Cache) Access(paddr uint64, ag conflict.Agent, write bool) bool {
 	c.tick++
 	pi := privIndex(ag.Priv)
 	c.Accesses[pi]++
-	la := c.LineAddr(paddr)
-	set := c.set(la)
+	la, set := c.locate(paddr)
 	victim := 0
 	var oldest uint64 = ^uint64(0)
 	for i := range set {
@@ -155,8 +161,7 @@ func (c *Cache) Access(paddr uint64, ag conflict.Agent, write bool) bool {
 
 // Probe reports residency without side effects.
 func (c *Cache) Probe(paddr uint64) bool {
-	la := c.LineAddr(paddr)
-	set := c.set(la)
+	la, set := c.locate(paddr)
 	for i := range set {
 		l := &set[i]
 		if l.valid && l.tag == la {

@@ -313,3 +313,44 @@ func TestBusTransactionsCounted(t *testing.T) {
 		t.Fatalf("bus transactions = %d, want 2", h.BusTransactions)
 	}
 }
+
+// TestAccessDoesNotAllocate pins down that the Access/Probe hot path —
+// including the shared locate decode — performs no heap allocation; the
+// fast-forward warming path calls it every committed memory instruction.
+func TestAccessDoesNotAllocate(t *testing.T) {
+	c := New(Config{Name: "L1D", SizeBytes: 128 << 10, Ways: 2, LineShift: 6})
+	addr := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Access(addr, u1, addr%3 == 0)
+		c.Probe(addr ^ 0x4000)
+		addr += 832 // stride through sets, mixing hits and misses
+	}); n != 0 {
+		t.Fatalf("Access/Probe allocated %.1f times per call", n)
+	}
+}
+
+// BenchmarkCacheAccess measures the tag-lookup hot path so regressions in
+// the shared locate path show up. The address stream wraps within capacity:
+// after the first lap every access is a hit, which is the path both the
+// detailed pipeline and fast-forward warming take most of the time.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{Name: "L1D", SizeBytes: 128 << 10, Ways: 2, LineShift: 6})
+	b.ReportAllocs()
+	addr := uint64(0)
+	for i := 0; i < b.N; i++ {
+		c.Access(addr, u1, i&7 == 0)
+		addr = (addr + 832) % (128 << 10)
+	}
+}
+
+// BenchmarkCacheProbe measures the read-only residency check.
+func BenchmarkCacheProbe(b *testing.B) {
+	c := New(Config{Name: "L1D", SizeBytes: 128 << 10, Ways: 2, LineShift: 6})
+	for a := uint64(0); a < 128<<10; a += 64 {
+		c.Access(a, u1, false)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Probe(uint64(i) * 832 % (256 << 10))
+	}
+}

@@ -175,6 +175,33 @@ func (h *Hierarchy) AccessD(paddr uint64, ag conflict.Agent, write bool, now uin
 	return h.access(h.L1D, h.mshrD, paddr, ag, write, now, false)
 }
 
+// WarmI is the functional-warming instruction fetch used by sampled
+// fast-forward: it drives the full tag, LRU, sharing and miss-cause state
+// of the real caches but skips the MSHR, bus and latency bookkeeping. That
+// transient timing state decays within roughly one miss latency (~110
+// cycles), long before the next detailed window's warmup opens, whereas
+// the tags being warmed persist — so omitting it changes nothing a
+// measurement window can observe and makes fast-forward markedly cheaper.
+func (h *Hierarchy) WarmI(paddr uint64, ag conflict.Agent) {
+	if h.OmitPrivileged && ag.Priv {
+		return
+	}
+	if !h.L1I.Access(paddr, ag, false) {
+		h.L2.Access(paddr, ag, false)
+	}
+}
+
+// WarmD is the data-side counterpart of WarmI; write warms the line the
+// way the detailed path's store-buffer drain would.
+func (h *Hierarchy) WarmD(paddr uint64, ag conflict.Agent, write bool) {
+	if h.OmitPrivileged && ag.Priv {
+		return
+	}
+	if !h.L1D.Access(paddr, ag, write) {
+		h.L2.Access(paddr, ag, write)
+	}
+}
+
 // DrainStore performs the cache write of a store leaving the store buffer.
 // Unlike AccessD it never stalls: the store buffer is the structure that
 // holds the data, so the write proceeds even when the MSHRs are saturated

@@ -87,11 +87,48 @@ type Options struct {
 	Faults faults.Config
 	// SeedPartitions is the number of derived RNG seed partitions carved
 	// out of Seed, one per subsystem stream (kernel, SPECInt, network,
-	// Apache, faults), spaced seedStride apart so the streams never
-	// collide. 0 selects the default (seedPartitionCount); Validate
+	// Apache, faults, sampling), spaced seedStride apart so the streams
+	// never collide. 0 selects the default (seedPartitionCount); Validate
 	// rejects negative counts and any explicit count smaller than the
 	// number of subsystems, which would alias two streams.
 	SeedPartitions int
+	// Sampling enables sampled simulation (zero value = full detail); see
+	// the Sampling type.
+	Sampling Sampling
+}
+
+// Sampling configures sampled simulation: deterministic functional
+// fast-forward with microarchitectural warming, alternating with
+// full-detail measurement windows (see internal/pipeline's sample.go). The
+// zero value disables sampling.
+type Sampling struct {
+	// Period is the schedule period in cycles; each period contains one
+	// warmup+detail block at a seeded pseudo-random offset. 0 disables
+	// sampling.
+	Period uint64
+	// DetailWindow is the full-detail measurement window length in cycles
+	// (0 = Period/10).
+	DetailWindow uint64
+	// Warmup is the detailed run-in before each window, excluded from the
+	// estimators (0 = DetailWindow/2).
+	Warmup uint64
+}
+
+// Enabled reports whether sampling is configured.
+func (s Sampling) Enabled() bool { return s.Period > 0 }
+
+// withDefaults fills the derived defaults for unset fields.
+func (s Sampling) withDefaults() Sampling {
+	if s.Period == 0 {
+		return s
+	}
+	if s.DetailWindow == 0 {
+		s.DetailWindow = s.Period / 10
+	}
+	if s.Warmup == 0 {
+		s.Warmup = s.DetailWindow / 2
+	}
+	return s
 }
 
 // Seed-partition indices name the derived RNG streams carved out of
@@ -101,6 +138,7 @@ const (
 	seedPartitionNetwork
 	seedPartitionApache
 	seedPartitionFaults
+	seedPartitionSampling
 	seedPartitionCount
 )
 
@@ -146,10 +184,18 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: negative SeedPartitions %d", o.SeedPartitions)
 	}
 	if o.SeedPartitions > 0 && o.SeedPartitions < seedPartitionCount {
-		return fmt.Errorf("core: SeedPartitions %d is fewer than the %d subsystem streams (kernel, specint, network, apache, faults)", o.SeedPartitions, seedPartitionCount)
+		return fmt.Errorf("core: SeedPartitions %d is fewer than the %d subsystem streams (kernel, specint, network, apache, faults, sampling)", o.SeedPartitions, seedPartitionCount)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
+	}
+	if s := o.Sampling.withDefaults(); s.Enabled() {
+		if s.DetailWindow == 0 {
+			return fmt.Errorf("core: Sampling.Period %d is too small for a detail window (need at least 10 cycles, or set DetailWindow explicitly)", s.Period)
+		}
+		if s.Warmup+s.DetailWindow >= s.Period {
+			return fmt.Errorf("core: Sampling warmup %d + window %d must be smaller than period %d (nothing left to fast-forward)", s.Warmup, s.DetailWindow, s.Period)
+		}
 	}
 	return nil
 }
@@ -225,6 +271,14 @@ func assemble(o Options) (*Simulator, kernel.Config) {
 	if o.OmitPrivileged {
 		e.Hier.OmitPrivileged = true
 		e.Pred.OmitPrivileged = true
+	}
+	if sm := o.Sampling.withDefaults(); sm.Enabled() {
+		e.EnableSampling(pipeline.SampleConfig{
+			Period:       sm.Period,
+			DetailWindow: sm.DetailWindow,
+			Warmup:       sm.Warmup,
+			Seed:         o.subseed(seedPartitionSampling),
+		})
 	}
 	sim := &Simulator{Engine: e, Kernel: k, Opts: o}
 	if o.Faults.Enabled() {

@@ -1,0 +1,133 @@
+// Sampled-simulation tests: determinism, checkpoint round-trips through the
+// sampling FSM, and the error bound of the sampled estimators against
+// full-detail runs (the ablation-sampling experiment asserts the same bound
+// at experiment scale).
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// sampledOpts is the scale used across these tests: 100k period with the
+// derived defaults (10k detail window, 5k warmup) = 15% detailed cycles.
+func sampledOpts(seed uint64) core.Options {
+	return core.Options{
+		Processor:     core.SMT,
+		Seed:          seed,
+		CyclesPer10ms: 100_000,
+		Sampling:      core.Sampling{Period: 100_000},
+	}
+}
+
+// TestSamplingDeterminism asserts that two same-seed sampled runs are
+// bit-identical, counter for counter.
+func TestSamplingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-kilocycle simulation")
+	}
+	for _, workload := range []string{"apache", "specint"} {
+		a, err := core.New(workload, sampledOpts(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.New(workload, sampledOpts(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Run(800_000)
+		b.Run(800_000)
+		sa, sb := report.Take(a), report.Take(b)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("%s: same-seed sampled runs diverged in: %s", workload, diffFields(sa, sb))
+		}
+		if sa.Sampling.Windows == 0 {
+			t.Fatalf("%s: sampled run completed no measurement windows", workload)
+		}
+	}
+}
+
+// TestSamplingCheckpointGolden asserts the golden checkpoint guarantee with
+// sampling enabled: save at N (mid-schedule), restore, run M more — the
+// final report, sampling estimators included, matches a straight N+M run.
+// The checkpoint lands inside a fast-forward phase and the run crosses
+// several window boundaries, so the FSM state itself is what is being
+// round-tripped.
+func TestSamplingCheckpointGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-kilocycle simulation")
+	}
+	goldenCase(t, "apache", sampledOpts(1), 730_000, 500_000)
+	goldenCase(t, "specint", sampledOpts(7), 430_000, 400_000)
+}
+
+// runToRetired advances sim in small chunks until at least target
+// instructions have retired (fine granularity keeps the alignment slop well
+// under 1% of the window).
+func runToRetired(sim *core.Simulator, target uint64) {
+	for sim.Engine.Metrics.Retired < target {
+		sim.Run(5_000)
+	}
+}
+
+// TestSamplingErrorBound compares the sampled kernel-time estimate against
+// a full-detail measurement of the same instruction region: fast-forward
+// advances more instructions per cycle than detailed execution, so the
+// comparison aligns the two runs by retired-instruction position (the
+// SMARTS convention — sampling units live in instruction space), not by
+// cycle count. The bound is max(4 standard errors, an absolute floor):
+// sampling is a statistical estimator, and the floor keeps the test
+// meaningful when the stderr happens to be tiny.
+func TestSamplingErrorBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full-detail and sampled simulations back to back")
+	}
+	const warmup, measure = 300_000, 600_000
+	const floorPct = 5.0
+	for _, workload := range []string{"apache", "specint"} {
+		for _, seed := range []uint64{1, 5} {
+			sampled, err := core.New(workload, sampledOpts(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampled.Run(warmup)
+			sa := report.Take(sampled)
+			sampled.Run(measure)
+			sb := report.Take(sampled)
+			d := report.Delta(sa, sb)
+			sampledPct := d.CycleAt.KernelPct()
+			if d.Sampling.Windows < 4 {
+				t.Fatalf("%s seed %d: only %d measurement windows in the measured span", workload, seed, d.Sampling.Windows)
+			}
+
+			full, err := core.New(workload, core.Options{Processor: core.SMT, Seed: seed, CyclesPer10ms: 100_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runToRetired(full, sa.Metrics.Retired)
+			fa := report.Take(full)
+			runToRetired(full, sb.Metrics.Retired)
+			fb := report.Take(full)
+			fd := report.Delta(fa, fb)
+			fullPct := fd.CycleAt.KernelPct()
+
+			band := 4 * d.Sampling.KernelPct.StdErr()
+			if band < floorPct {
+				band = floorPct
+			}
+			diff := sampledPct - fullPct
+			if diff < 0 {
+				diff = -diff
+			}
+			t.Logf("%s seed %d: full %.2f%% sampled %.2f%% (windows %d, stderr %.2f, band %.2f)",
+				workload, seed, fullPct, sampledPct, d.Sampling.Windows, d.Sampling.KernelPct.StdErr(), band)
+			if diff > band {
+				t.Errorf("%s seed %d: sampled kernel%% %.2f differs from full %.2f by %.2f > band %.2f",
+					workload, seed, sampledPct, fullPct, diff, band)
+			}
+		}
+	}
+}

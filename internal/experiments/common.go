@@ -24,6 +24,12 @@ type Scale struct {
 	Measure uint64
 	// Interval is the 10 ms interrupt granularity in cycles.
 	Interval uint64
+	// Sampling, when enabled, runs every simulation built through the
+	// standard specSim/apacheSim helpers in sampled mode (fast-forward with
+	// warming between detailed windows). Percentage-style metrics remain
+	// estimates of the detailed windows; raw counters are not comparable to
+	// full-detail runs.
+	Sampling core.Sampling
 }
 
 // Quick is the test-suite scale (seconds per experiment).
@@ -136,11 +142,13 @@ func paperNote(lines ...string) string {
 func specSim(sc Scale, seed uint64, o core.Options) *core.Simulator {
 	o.Seed = seed
 	o.CyclesPer10ms = sc.Interval
+	o.Sampling = sc.Sampling
 	return core.NewSPECInt(o)
 }
 
 func apacheSim(sc Scale, seed uint64, o core.Options) *core.Simulator {
 	o.Seed = seed
 	o.CyclesPer10ms = sc.Interval
+	o.Sampling = sc.Sampling
 	return core.NewApache(o)
 }

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-fetch", "ablation-contexts", "ablation-idle",
 		"ablation-interrupt", "ablation-procs", "ablation-dma",
 		"ablation-affinity", "ablation-keepalive", "ablation-diskbound",
-		"ablation-loss", "ablation-crash",
+		"ablation-loss", "ablation-crash", "ablation-sampling",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -144,6 +144,26 @@ func TestExperimentsProduceStableKeys(t *testing.T) {
 			if _, ok := res.Values[k]; !ok {
 				t.Fatalf("%s missing key %q (has %v)", id, k, res.Values)
 			}
+		}
+	}
+}
+
+// TestSamplingAblationWithinBand asserts the sampled-mode validation at
+// Quick scale: both headline metrics (Fig 1 steady kernel share, Fig 5
+// kernel share) must land inside the experiment's stated error band.
+func TestSamplingAblationWithinBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-detail replay of the sampled instruction region is slow")
+	}
+	res, err := Run("ablation-sampling", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []string{"specint", "apache"} {
+		if res.Values[wl+"Within"] != 1 {
+			t.Errorf("%s: sampled %.2f vs full %.2f — err %.2f outside band %.2f",
+				wl, res.Values[wl+"SampledKernelPct"], res.Values[wl+"FullKernelPct"],
+				res.Values[wl+"Err"], res.Values[wl+"Band"])
 		}
 	}
 }

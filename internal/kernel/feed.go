@@ -80,13 +80,6 @@ func (k *Kernel) limit(rw *regionWalker, ctx, n int) workload.Generator {
 	return k.newLimit(rw.walker(ctx), uint64(n))
 }
 
-// wrap stamps a raw instruction with a template's identity fields.
-func wrap(in isa.Inst, tmpl pipeline.FedInst) pipeline.FedInst {
-	out := tmpl
-	out.Inst = in
-	return out
-}
-
 // tmplFor builds the annotation for code run on behalf of thread t.
 func tmplFor(t *Thread, cat sys.Category, sysno uint16) pipeline.FedInst {
 	return pipeline.FedInst{
@@ -360,7 +353,8 @@ func drainAs(dst []pipeline.FedInst, g workload.Generator, tmpl pipeline.FedInst
 			return dst
 		}
 		in.Mode = mode
-		dst = append(dst, wrap(in, tmpl))
+		dst = append(dst, tmpl)
+		dst[len(dst)-1].Inst = in
 	}
 }
 
@@ -389,7 +383,10 @@ func (k *Kernel) fill(ctx int) bool {
 			top := &f.stack[n-1]
 			in, ok := top.g.Next()
 			if ok {
-				f.buf = append(f.buf, wrap(in, top.tmpl))
+				// Append the template then patch the instruction in place:
+				// one FedInst copy instead of wrap's build-then-append two.
+				f.buf = append(f.buf, top.tmpl)
+				f.buf[len(f.buf)-1].Inst = in
 				return true
 			}
 			done := top.done

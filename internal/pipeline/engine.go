@@ -9,8 +9,14 @@ import (
 	"repro/internal/sys"
 )
 
-// Run advances the simulation by n cycles.
+// Run advances the simulation by n cycles. With sampling enabled the
+// cycles are split between functional fast-forward and detailed windows
+// (see sample.go); otherwise every cycle runs the full detailed step.
 func (e *Engine) Run(n uint64) {
+	if e.smp.phase != sampleOff {
+		e.runSampled(n)
+		return
+	}
 	for i := uint64(0); i < n; i++ {
 		e.step()
 	}

@@ -455,6 +455,10 @@ type Engine struct {
 	retireScratch    FedInst //detlint:ignore snapshotcomplete scratch copy handed to Feed.Retired, dead after the call
 	trapScratch      FedInst //detlint:ignore snapshotcomplete scratch copy handed to Feed.Trap, dead after the call
 	fetchScratch     FedInst //detlint:ignore snapshotcomplete scratch for the instruction being fetched, dead after fetchCtx
+	ffScratch        FedInst //detlint:ignore snapshotcomplete scratch for the instruction being fast-forwarded, dead after ffExec
+
+	// smp is the sampling FSM (sample.go); zero value means sampling off.
+	smp sampler
 }
 
 // New builds an engine over the given feed and hardware structures.

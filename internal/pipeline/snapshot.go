@@ -96,6 +96,10 @@ type Snapshot struct {
 	RRRetire    int
 	RRFetch     int
 	RRDispatch  int
+
+	// Sampler carries the sampling FSM; the zero value (absent in images
+	// written before sampling existed) restores as "sampling off".
+	Sampler SamplerSnap
 }
 
 func snapUop(u *uop) UopSnap {
@@ -153,6 +157,7 @@ func (e *Engine) Snapshot() Snapshot {
 		RRRetire:    e.rrRetire,
 		RRFetch:     e.rrFetch,
 		RRDispatch:  e.rrDispatch,
+		Sampler:     e.smp.Snapshot(),
 	}
 	s.Ctxs = make([]CtxSnap, len(e.ctxs))
 	for i := range e.ctxs {
@@ -214,6 +219,7 @@ func (e *Engine) Restore(s Snapshot) error {
 	e.rrRetire = s.RRRetire
 	e.rrFetch = s.RRFetch
 	e.rrDispatch = s.RRDispatch
+	e.smp.Restore(s.Sampler)
 	for i := range e.ctxs {
 		c := &e.ctxs[i]
 		cs := &s.Ctxs[i]

@@ -116,6 +116,10 @@ type Snapshot struct {
 	FramesDelayed   uint64
 	WorkerCrashes   uint64
 	WorkerRespawns  uint64
+
+	// Sampling holds the sampled-run estimators (Enabled=false on full-detail
+	// runs; everything else zero then).
+	Sampling pipeline.SampleStats
 }
 
 // Take captures all counters of sim.
@@ -167,6 +171,7 @@ func Take(sim *core.Simulator) Snapshot {
 	}
 	s.WorkerCrashes = k.WorkerCrashes
 	s.WorkerRespawns = k.WorkerRespawns
+	s.Sampling = e.SampleStats()
 	if sim.Faults != nil {
 		s.FramesDropped = sim.Faults.DroppedToServer + sim.Faults.DroppedToClient
 		s.FramesCorrupted = sim.Faults.Corrupted
@@ -243,6 +248,7 @@ func Delta(a, b Snapshot) Snapshot {
 	d.FramesDelayed = b.FramesDelayed - a.FramesDelayed
 	d.WorkerCrashes = b.WorkerCrashes - a.WorkerCrashes
 	d.WorkerRespawns = b.WorkerRespawns - a.WorkerRespawns
+	d.Sampling = b.Sampling.Sub(a.Sampling)
 	return d
 }
 

@@ -48,6 +48,22 @@ func Summary(title string, w Snapshot) string {
 			w.NetRetransmits, w.NetAborted, w.NetResets,
 			w.WorkerCrashes, w.WorkerRespawns)
 	}
+	if sp := w.Sampling; sp.Enabled {
+		detailPct := 0.0
+		if t := sp.FFCycles + sp.DetailCycles; t > 0 {
+			detailPct = 100 * float64(sp.DetailCycles) / float64(t)
+		}
+		fmt.Fprintf(&b, "sampled: windows %d  detail %.1f%% of cycles (ff %d / detail %d)\n",
+			sp.Windows, detailPct, sp.FFCycles, sp.DetailCycles)
+		fmt.Fprintf(&b, "sampled estimates: IPC %.2f +/- %.2f  kernel %.1f%% +/- %.1f  user %.1f%% +/- %.1f  idle %.1f%% +/- %.1f\n",
+			sp.IPC.Mean(), sp.IPC.StdErr(),
+			sp.KernelPct.Mean(), sp.KernelPct.StdErr(),
+			sp.UserPct.Mean(), sp.UserPct.StdErr(),
+			sp.IdlePct.Mean(), sp.IdlePct.StdErr())
+		est := sp.IPC.Mean() * float64(w.Metrics.Cycles)
+		fmt.Fprintf(&b, "sampled extrapolation: retired ~= %.0f +/- %.0f over %d cycles\n",
+			est, sp.IPC.StdErr()*float64(w.Metrics.Cycles), w.Metrics.Cycles)
+	}
 	return b.String()
 }
 

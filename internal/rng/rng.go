@@ -22,6 +22,17 @@ import (
 // The zero value is not usable; construct with New.
 type Rand struct {
 	s [4]uint64
+	// geo memoizes log(1-1/m) for Geometric, which is called in hot loops
+	// with a handful of distinct means over and over. The memo is a pure
+	// function of the arguments — not stream state — so State/SetState
+	// ignore it and results are bit-identical with or without it.
+	geo    [6]geoMemo
+	geoPos uint8
+}
+
+// geoMemo is one cached Geometric parameter (see Rand.geo).
+type geoMemo struct {
+	m, log float64
 }
 
 // New returns a generator seeded from seed via splitmix64.
@@ -106,16 +117,29 @@ func (r *Rand) Geometric(m float64) int {
 	if m <= 1 {
 		return 1
 	}
-	p := 1 / m
 	u := r.Float64()
 	if u >= 1 {
 		u = math.Nextafter(1, 0)
 	}
-	n := 1 + int(math.Log(1-u)/math.Log(1-p))
+	n := 1 + int(math.Log(1-u)/r.geoLogOf(m))
 	if n < 1 {
 		n = 1
 	}
 	return n
+}
+
+// geoLogOf returns log(1-1/m), memoized round-robin over the last few
+// distinct means (m > 1; the zero-valued empty slots can never match).
+func (r *Rand) geoLogOf(m float64) float64 {
+	for i := range r.geo {
+		if r.geo[i].m == m {
+			return r.geo[i].log
+		}
+	}
+	l := math.Log(1 - 1/m)
+	r.geo[r.geoPos] = geoMemo{m: m, log: l}
+	r.geoPos = (r.geoPos + 1) % uint8(len(r.geo))
+	return l
 }
 
 // Choose returns an index in [0, len(weights)) with probability proportional

@@ -10,6 +10,8 @@
 package stats
 
 import (
+	"math"
+
 	"repro/internal/isa"
 	"repro/internal/sys"
 )
@@ -209,6 +211,63 @@ func (c *Cycles) Sub(prev *Cycles) Cycles {
 	}
 	d.Total = c.Total - prev.Total
 	return d
+}
+
+// Series accumulates scalar observations as moment sums (count, sum, sum of
+// squares) so sampled runs can report a mean with a standard-error estimate.
+// Moment sums — unlike Welford state — subtract cleanly, which lets
+// report.Delta compute the series for a measurement window as end − start.
+type Series struct {
+	// N is the number of observations.
+	N uint64
+	// Sum and SumSq are the running first and second moments.
+	Sum, SumSq float64
+}
+
+// Add records one observation.
+func (s *Series) Add(v float64) {
+	s.N++
+	s.Sum += v
+	s.SumSq += v * v
+}
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Series) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Var returns the unbiased sample variance (0 with fewer than two
+// observations). The naive moment formula can go slightly negative from
+// rounding, so the result is clamped at zero.
+func (s *Series) Var() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	n := float64(s.N)
+	v := (s.SumSq - s.Sum*s.Sum/n) / (n - 1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdErr returns the standard error of the mean, sqrt(Var/N) — the ± the
+// sampled-run report attaches to each estimate (0 with fewer than two
+// observations).
+func (s *Series) StdErr() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return math.Sqrt(s.Var() / float64(s.N))
+}
+
+// Sub returns the difference s - prev, the series of observations recorded
+// between two snapshots.
+func (s Series) Sub(prev Series) Series {
+	return Series{N: s.N - prev.N, Sum: s.Sum - prev.Sum, SumSq: s.SumSq - prev.SumSq}
 }
 
 func privIndex(priv bool) int {

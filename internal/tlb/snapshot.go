@@ -56,14 +56,19 @@ func (t *TLB) Restore(s Snapshot) {
 	if len(s.Entries) != len(t.entries) {
 		panic("tlb: snapshot geometry mismatch")
 	}
-	t.index = make(map[uint64]int32, len(t.entries)*2)
+	for i := range t.dmHead {
+		t.dmHead[i] = 0
+	}
+	for i := range t.dmNext {
+		t.dmNext[i] = 0
+	}
 	for i, e := range s.Entries {
 		t.entries[i] = Entry{
 			valid: e.Valid, asn: e.ASN, vpn: e.VPN, pfn: e.PFN,
 			lastUse: e.LastUse, filler: e.Filler, touched: e.Touched,
 		}
 		if e.Valid {
-			t.index[key(e.ASN, e.VPN)] = int32(i)
+			t.dmLink(key(e.ASN, e.VPN), int32(i))
 		}
 	}
 	t.tick = s.Tick

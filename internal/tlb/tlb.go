@@ -15,6 +15,7 @@ package tlb
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/conflict"
 	"repro/internal/mem"
@@ -43,9 +44,17 @@ type TLB struct {
 	entries []Entry
 	tick    uint64
 	tracker *conflict.Tracker
-	// index maps key(asn,vpn) -> entry slot, to avoid scanning the
-	// fully-associative array on every access.
-	index map[uint64]int32 //detlint:ignore snapshotcomplete derived index rebuilt from entries by Restore
+	// dmHead/dmNext form a chained hash index over the valid entries, keyed
+	// by key(asn, vpn): dmHead[h] holds slot+1 of the first entry in bucket
+	// h (0 = empty), dmNext[s] the next slot+1 in the same bucket. Every
+	// valid entry is linked at all times, so a failed bucket walk IS a
+	// definitive miss — find needs no fallback scan, and its result is
+	// exactly what a scan of the fully-associative array would produce,
+	// independent of the index's insertion history. The index is derived
+	// state: Restore rebuilds it from the entries.
+	dmHead  []int32 //detlint:ignore snapshotcomplete derived lookup index rebuilt from entries by Restore
+	dmNext  []int32 //detlint:ignore snapshotcomplete derived lookup index rebuilt from entries by Restore
+	dmShift uint8   //detlint:ignore snapshotcomplete geometry fixed at construction
 
 	// Accesses and Misses are indexed by accessor privilege (0 user, 1 kernel).
 	Accesses [2]uint64
@@ -63,12 +72,25 @@ func New(name string, entries int) *TLB {
 	if entries <= 0 {
 		panic(fmt.Sprintf("tlb: %s with %d entries", name, entries))
 	}
+	n := dmSize(entries)
 	return &TLB{
 		name:    name,
 		entries: make([]Entry, entries),
 		tracker: conflict.NewTracker(),
-		index:   make(map[uint64]int32, entries*2),
+		dmHead:  make([]int32, n),
+		dmNext:  make([]int32, entries),
+		dmShift: uint8(64 - (bits.Len(uint(n)) - 1)),
 	}
+}
+
+// dmSize returns the hash-bucket count for a TLB with n entries: a power of
+// two at least 4x the entry count, so bucket chains stay short.
+func dmSize(n int) int {
+	s := 256
+	for s < 4*n {
+		s <<= 1
+	}
+	return s
 }
 
 // Name returns the TLB's name (for reports).
@@ -83,6 +105,47 @@ func key(asn uint16, vpn uint64) uint64 {
 	return vpn<<16 | uint64(asn)
 }
 
+// dmSlot hashes a key into a bucket (Fibonacci hashing: the high bits of
+// the product mix every key bit).
+func (t *TLB) dmSlot(k uint64) uint64 {
+	return (k * 0x9e3779b97f4a7c15) >> t.dmShift
+}
+
+// dmLink adds the valid entry at slot, keyed by k, to the index.
+func (t *TLB) dmLink(k uint64, slot int32) {
+	h := t.dmSlot(k)
+	t.dmNext[slot] = t.dmHead[h]
+	t.dmHead[h] = slot + 1
+}
+
+// dmUnlink removes the entry at slot, keyed by k, from the index. It must
+// be called before the entry is invalidated or its key overwritten.
+func (t *TLB) dmUnlink(k uint64, slot int32) {
+	h := t.dmSlot(k)
+	p := &t.dmHead[h]
+	for *p != 0 {
+		if *p == slot+1 {
+			*p = t.dmNext[slot]
+			t.dmNext[slot] = 0
+			return
+		}
+		p = &t.dmNext[*p-1]
+	}
+}
+
+// find returns the slot holding the valid entry for (asn, vpn). Insert
+// keeps at most one valid entry per key, so the bucket walk's result does
+// not depend on chain order; a miss here is definitive.
+func (t *TLB) find(asn uint16, vpn uint64) (int32, bool) {
+	for s := t.dmHead[t.dmSlot(key(asn, vpn))]; s != 0; s = t.dmNext[s-1] {
+		e := &t.entries[s-1]
+		if e.valid && e.asn == asn && e.vpn == vpn {
+			return s - 1, true
+		}
+	}
+	return 0, false
+}
+
 // Lookup translates vaddr in address space asn. On a hit it returns the
 // physical address and true; on a miss it classifies the miss and returns
 // false (the caller then runs the PAL miss handler, which will Insert).
@@ -91,9 +154,9 @@ func (t *TLB) Lookup(asn uint16, vaddr uint64, ag conflict.Agent) (paddr uint64,
 	pi := privIndex(ag.Priv)
 	t.Accesses[pi]++
 	vpn := mem.VPN(vaddr)
-	slot, ok := t.index[key(asn, vpn)]
+	slot, ok := t.find(asn, vpn)
 	if !ok {
-		slot, ok = t.index[key(GlobalASN, vpn)]
+		slot, ok = t.find(GlobalASN, vpn)
 	}
 	if ok {
 		e := &t.entries[slot]
@@ -120,10 +183,10 @@ func (t *TLB) Lookup(asn uint16, vaddr uint64, ag conflict.Agent) (paddr uint64,
 // LRU state (used by the kernel model and tests).
 func (t *TLB) Probe(asn uint16, vaddr uint64) bool {
 	vpn := mem.VPN(vaddr)
-	if _, ok := t.index[key(asn, vpn)]; ok {
+	if _, ok := t.find(asn, vpn); ok {
 		return true
 	}
-	_, ok := t.index[key(GlobalASN, vpn)]
+	_, ok := t.find(GlobalASN, vpn)
 	return ok
 }
 
@@ -133,7 +196,7 @@ func (t *TLB) Probe(asn uint16, vaddr uint64) bool {
 func (t *TLB) Insert(asn uint16, vaddr, paddr uint64, ag conflict.Agent) {
 	t.tick++
 	vpn := mem.VPN(vaddr)
-	if slot, ok := t.index[key(asn, vpn)]; ok {
+	if slot, ok := t.find(asn, vpn); ok {
 		// Refresh an existing entry (another context may have raced us in;
 		// on SMT multiple contexts can process TLB misses in parallel,
 		// §2.2.2).
@@ -142,7 +205,7 @@ func (t *TLB) Insert(asn uint16, vaddr, paddr uint64, ag conflict.Agent) {
 		e.lastUse = t.tick
 		return
 	}
-	if slot, ok := t.index[key(GlobalASN, vpn)]; ok && asn != GlobalASN {
+	if slot, ok := t.find(GlobalASN, vpn); ok && asn != GlobalASN {
 		e := &t.entries[slot]
 		e.pfn = paddr >> mem.PageShift
 		e.lastUse = t.tick
@@ -165,7 +228,7 @@ func (t *TLB) Insert(asn uint16, vaddr, paddr uint64, ag conflict.Agent) {
 	v := &t.entries[victim]
 	if v.valid {
 		t.tracker.Evicted(key(v.asn, v.vpn), ag)
-		delete(t.index, key(v.asn, v.vpn))
+		t.dmUnlink(key(v.asn, v.vpn), int32(victim))
 	}
 	t.tracker.FirstSeen(key(asn, vpn), ag)
 	*v = Entry{
@@ -177,7 +240,7 @@ func (t *TLB) Insert(asn uint16, vaddr, paddr uint64, ag conflict.Agent) {
 		filler:  ag,
 		touched: uint64(1) << (ag.TID & 63),
 	}
-	t.index[key(asn, vpn)] = int32(victim)
+	t.dmLink(key(asn, vpn), int32(victim))
 }
 
 // InvalidateASN removes all entries of one address space (ASN recycling on
@@ -188,7 +251,7 @@ func (t *TLB) InvalidateASN(asn uint16) int {
 		e := &t.entries[i]
 		if e.valid && e.asn == asn {
 			t.tracker.Invalidated(key(e.asn, e.vpn))
-			delete(t.index, key(e.asn, e.vpn))
+			t.dmUnlink(key(e.asn, e.vpn), int32(i))
 			e.valid = false
 			n++
 		}
@@ -201,11 +264,11 @@ func (t *TLB) InvalidateASN(asn uint16) int {
 // uniprocessor SMT this replaces the SMP's interprocessor TLB shootdown.
 func (t *TLB) InvalidatePage(asn uint16, vaddr uint64) bool {
 	vpn := mem.VPN(vaddr)
-	for _, k := range [2]uint64{key(asn, vpn), key(GlobalASN, vpn)} {
-		if slot, ok := t.index[k]; ok {
+	for _, a := range [2]uint16{asn, GlobalASN} {
+		if slot, ok := t.find(a, vpn); ok {
 			e := &t.entries[slot]
 			t.tracker.Invalidated(key(e.asn, e.vpn))
-			delete(t.index, k)
+			t.dmUnlink(key(e.asn, e.vpn), slot)
 			e.valid = false
 			t.Invalidations++
 			return true
@@ -220,10 +283,15 @@ func (t *TLB) Flush() {
 		e := &t.entries[i]
 		if e.valid {
 			t.tracker.Invalidated(key(e.asn, e.vpn))
-			delete(t.index, key(e.asn, e.vpn))
 			e.valid = false
 			t.Invalidations++
 		}
+	}
+	for i := range t.dmHead {
+		t.dmHead[i] = 0
+	}
+	for i := range t.dmNext {
+		t.dmNext[i] = 0
 	}
 }
 

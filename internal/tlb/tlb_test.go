@@ -1,6 +1,7 @@
 package tlb
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -199,6 +200,147 @@ func TestInsertLookupProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// scanFind is the pure linear scan over the fully-associative array that
+// the chained hash index replaced. The differential test uses it as the
+// reference answer for every lookup-shaped operation.
+func scanFind(tb *TLB, asn uint16, vpn uint64) (int32, bool) {
+	for i := range tb.entries {
+		e := &tb.entries[i]
+		if e.valid && e.asn == asn && e.vpn == vpn {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// auditIndex checks the chained-index invariant that makes find scan-exact:
+// every valid entry is linked exactly once, in the bucket its key hashes
+// to, and find returns precisely the slot a scan would.
+func auditIndex(t *testing.T, tb *TLB) {
+	t.Helper()
+	linked := make(map[int32]bool)
+	for h := range tb.dmHead {
+		for s := tb.dmHead[h]; s != 0; s = tb.dmNext[s-1] {
+			slot := s - 1
+			if linked[slot] {
+				t.Fatalf("slot %d linked twice", slot)
+			}
+			linked[slot] = true
+			e := &tb.entries[slot]
+			if !e.valid {
+				t.Fatalf("invalid entry %d still linked", slot)
+			}
+			if got := tb.dmSlot(key(e.asn, e.vpn)); got != uint64(h) {
+				t.Fatalf("slot %d linked in bucket %d, key hashes to %d", slot, h, got)
+			}
+		}
+	}
+	for i := range tb.entries {
+		e := &tb.entries[i]
+		if e.valid != linked[int32(i)] {
+			t.Fatalf("slot %d: valid=%v linked=%v", i, e.valid, linked[int32(i)])
+		}
+		if e.valid {
+			if slot, ok := tb.find(e.asn, e.vpn); !ok || slot != int32(i) {
+				t.Fatalf("find(%d, %#x) = %d,%v; want %d,true", e.asn, e.vpn, slot, ok, i)
+			}
+		}
+	}
+}
+
+// TestLookupIndexDifferential drives one TLB through a pseudo-random
+// operation stream, checking every lookup-shaped result against the pure
+// linear scan the chained index replaced (computed on the same state just
+// before the operation runs), and periodically auditing the index
+// invariant. Snapshot/Restore round-trips are mixed in: Restore rebuilds
+// the index, which must not perturb subsequent behavior.
+func TestLookupIndexDifferential(t *testing.T) {
+	a := New("dut", 32)
+	rng := uint64(0x5eed)
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+		z = (z ^ z>>27) * 0x94d049bb133111eb
+		return z ^ z>>31
+	}
+	// Small ASN and page spaces so lookups hit, evict, and collide often.
+	asnOf := func(r uint64) uint16 {
+		if r%8 == 0 {
+			return GlobalASN
+		}
+		return uint16(r % 5)
+	}
+	// wantTranslate computes the scan-reference answer for Lookup/Probe:
+	// exact-ASN entries take precedence over global ones.
+	wantTranslate := func(asn uint16, vaddr uint64) (uint64, bool) {
+		vpn := mem.VPN(vaddr)
+		slot, ok := scanFind(a, asn, vpn)
+		if !ok {
+			slot, ok = scanFind(a, GlobalASN, vpn)
+		}
+		if !ok {
+			return 0, false
+		}
+		return mem.FrameBase(a.entries[slot].pfn) | (vaddr & mem.PageMask), true
+	}
+	for op := 0; op < 20_000; op++ {
+		r := next()
+		asn := asnOf(r >> 8)
+		vaddr := (r >> 20) % 96 * mem.PageSize
+		ag := conflict.Agent{TID: uint32(r % 4), Priv: r%3 == 0}
+		switch r % 10 {
+		case 0, 1, 2, 3, 4, 5:
+			wantPA, wantHit := wantTranslate(asn, vaddr)
+			pa, hit := a.Lookup(asn, vaddr, ag)
+			if pa != wantPA || hit != wantHit {
+				t.Fatalf("op %d: Lookup(%d, %#x) = %#x,%v; scan says %#x,%v",
+					op, asn, vaddr, pa, hit, wantPA, wantHit)
+			}
+		case 6, 7:
+			paddr := (r >> 40) % 512 * mem.PageSize
+			a.Insert(asn, vaddr, paddr, ag)
+		case 8:
+			_, want := wantTranslate(asn, vaddr)
+			if got := a.Probe(asn, vaddr); got != want {
+				t.Fatalf("op %d: Probe(%d, %#x) = %v; scan says %v", op, asn, vaddr, got, want)
+			}
+		case 9:
+			switch (r >> 16) % 4 {
+			case 0:
+				want := 0
+				for i := range a.entries {
+					if e := &a.entries[i]; e.valid && e.asn == asn {
+						want++
+					}
+				}
+				if got := a.InvalidateASN(asn); got != want {
+					t.Fatalf("op %d: InvalidateASN(%d) = %d; scan says %d", op, asn, got, want)
+				}
+			case 1, 2:
+				_, want := wantTranslate(asn, vaddr)
+				if got := a.InvalidatePage(asn, vaddr); got != want {
+					t.Fatalf("op %d: InvalidatePage(%d, %#x) = %v; scan says %v", op, asn, vaddr, got, want)
+				}
+			case 3:
+				if (r>>24)%50 == 0 {
+					a.Flush()
+				} else {
+					before := a.Snapshot()
+					a.Restore(before)
+					if after := a.Snapshot(); !reflect.DeepEqual(before, after) {
+						t.Fatalf("op %d: Snapshot/Restore round-trip diverged", op)
+					}
+				}
+			}
+		}
+		if op%500 == 0 {
+			auditIndex(t, a)
+		}
+	}
+	auditIndex(t, a)
 }
 
 func TestNewPanicsOnZeroEntries(t *testing.T) {
