@@ -64,6 +64,16 @@ func run() int {
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
 		watchdog  = flag.Uint64("watchdog", 0, "livelock window in cycles (0 = default)")
 
+		// Overload (see FAULTS.md, "Overload").
+		backlog     = flag.Int("backlog", 0, "accept-backlog bound on the listen socket (0 = default 1024)")
+		idleTimeout = flag.Int("idle-timeout", 0, "reap connections idle for N 10ms ticks (0 = off)")
+		slowRate    = flag.Float64("slowrate", 0, "probability a client is a slow-trickle (slowloris) sender [0,1]")
+		trickle     = flag.Int("trickle", 0, "ticks between a slow client's request chunks (0 = default)")
+		stormRate   = flag.Float64("stormrate", 0, "probability a client is a keep-alive storm client [0,1]")
+		stormHold   = flag.Int("stormhold", 0, "ticks a storm client holds its connection idle (0 = default)")
+		burstEvery  = flag.Int("burst-every", 0, "activate a flash-crowd burst every N ticks (0 = off)")
+		burstSize   = flag.Int("burst-size", 0, "clients per flash-crowd burst (0 = default)")
+
 		// Checkpoint/restore and auditing (see CHECKPOINT.md).
 		ckptPath  = flag.String("checkpoint", "", "write a checkpoint here when the run finishes")
 		restore   = flag.String("restore", "", "resume from this checkpoint instead of a fresh boot")
@@ -105,23 +115,31 @@ func run() int {
 	}
 
 	opts := core.Options{
-		Seed:            *seed,
-		AppOnly:         *appOnly,
-		OmitPrivileged:  *omitOS,
-		CyclesPer10ms:   *interval,
-		Contexts:        *contexts,
-		ServerProcesses: *procs,
-		Clients:         *clients,
-		IdleSpin:        *idleSpin,
-		RoundRobinFetch: *rrFetch,
+		Seed:             *seed,
+		AppOnly:          *appOnly,
+		OmitPrivileged:   *omitOS,
+		CyclesPer10ms:    *interval,
+		Contexts:         *contexts,
+		ServerProcesses:  *procs,
+		Clients:          *clients,
+		IdleSpin:         *idleSpin,
+		RoundRobinFetch:  *rrFetch,
+		AcceptBacklog:    *backlog,
+		IdleTimeoutTicks: *idleTimeout,
 		Faults: faults.Config{
-			Seed:           *faultSeed,
-			LossRate:       *loss,
-			CorruptRate:    *corrupt,
-			DelayRate:      *delayRate,
-			MaxDelayTicks:  *maxDelay,
-			CrashRate:      *crashRate,
-			LivelockWindow: *watchdog,
+			Seed:            *faultSeed,
+			LossRate:        *loss,
+			CorruptRate:     *corrupt,
+			DelayRate:       *delayRate,
+			MaxDelayTicks:   *maxDelay,
+			CrashRate:       *crashRate,
+			LivelockWindow:  *watchdog,
+			SlowClientRate:  *slowRate,
+			TrickleTicks:    *trickle,
+			StormClientRate: *stormRate,
+			StormHoldTicks:  *stormHold,
+			BurstEvery:      *burstEvery,
+			BurstSize:       *burstSize,
 		},
 	}
 	if *sample {

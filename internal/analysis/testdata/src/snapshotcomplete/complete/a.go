@@ -42,3 +42,28 @@ type NoPair struct {
 }
 
 func (n *NoPair) Snapshot() int { return 0 }
+
+// Hist mirrors the report latency histogram: a fixed bucket array plus
+// scalar tallies, all round-tripped by value. Array-typed fields must count
+// as covered when copied whole.
+type Hist struct {
+	buckets [8]uint64
+	count   uint64
+	sum     uint64
+}
+
+type HistSnap struct {
+	Buckets [8]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+func (h *Hist) Snapshot() HistSnap {
+	return HistSnap{Buckets: h.buckets, Count: h.count, Sum: h.sum}
+}
+
+func (h *Hist) Restore(s HistSnap) {
+	h.buckets = s.Buckets
+	h.count = s.Count
+	h.sum = s.Sum
+}

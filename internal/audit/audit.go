@@ -70,6 +70,7 @@ func Checks() []Check {
 		{Name: "frame-accounting", Run: checkFrameAccounting},
 		{Name: "tlb-consistency", Run: checkTLBConsistency},
 		{Name: "socket-ownership", Run: checkSocketOwnership},
+		{Name: "backlog-timers", Run: checkBacklogTimers},
 		{Name: "pipeline-queues", Run: checkPipelineQueues},
 	}
 }
@@ -235,6 +236,74 @@ func checkSocketOwnership(t Target) []Finding {
 				Check:  "socket-ownership",
 				Detail: fmt.Sprintf("socket %d (conn %d) still owned by exited thread %d", s.ID, s.Conn, s.Owner),
 			})
+		}
+	}
+	return out
+}
+
+// checkBacklogTimers verifies the overload-control bookkeeping: accept
+// queues stay within the configured backlog bound and reference real
+// unowned connection sockets, a listen socket never has both blocked
+// acceptors and queued connections, and no socket's idle-timer clock
+// (last-activity tick) runs ahead of the network clock.
+func checkBacklogTimers(t Target) []Finding {
+	var out []Finding
+	socks := t.Kernel.SocketInfos()
+	byID := map[int]kernel.SocketInfo{}
+	for _, s := range socks {
+		byID[s.ID] = s
+	}
+	limit := t.Kernel.AcceptBacklogLimit()
+	now := t.Kernel.NetTicks()
+	for _, s := range socks {
+		if s.LastActive > now {
+			out = append(out, Finding{
+				Check:  "backlog-timers",
+				Detail: fmt.Sprintf("socket %d last-active tick %d is ahead of the network clock %d", s.ID, s.LastActive, now),
+			})
+		}
+		if !s.Listen {
+			continue
+		}
+		if len(s.AcceptQ) > limit {
+			out = append(out, Finding{
+				Check:  "backlog-timers",
+				Detail: fmt.Sprintf("listen socket %d accept queue holds %d connections, over the backlog bound %d", s.ID, len(s.AcceptQ), limit),
+			})
+		}
+		if len(s.AcceptQ) > 0 && s.Waiters > 0 {
+			out = append(out, Finding{
+				Check:  "backlog-timers",
+				Detail: fmt.Sprintf("listen socket %d has %d blocked acceptor(s) while %d connection(s) sit queued", s.ID, s.Waiters, len(s.AcceptQ)),
+			})
+		}
+		seen := map[int]bool{}
+		for _, id := range s.AcceptQ {
+			if seen[id] {
+				out = append(out, Finding{
+					Check:  "backlog-timers",
+					Detail: fmt.Sprintf("listen socket %d queues socket %d twice", s.ID, id),
+				})
+			}
+			seen[id] = true
+			q, ok := byID[id]
+			switch {
+			case !ok:
+				out = append(out, Finding{
+					Check:  "backlog-timers",
+					Detail: fmt.Sprintf("listen socket %d queues unknown socket %d", s.ID, id),
+				})
+			case q.Listen:
+				out = append(out, Finding{
+					Check:  "backlog-timers",
+					Detail: fmt.Sprintf("listen socket %d queues listen socket %d", s.ID, id),
+				})
+			case q.Owner != 0:
+				out = append(out, Finding{
+					Check:  "backlog-timers",
+					Detail: fmt.Sprintf("listen socket %d queues socket %d already owned by thread %d", s.ID, id, q.Owner),
+				})
+			}
 		}
 	}
 	return out

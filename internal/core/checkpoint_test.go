@@ -114,6 +114,59 @@ func TestCheckpointGoldenWithFaults(t *testing.T) {
 	goldenCase(t, "apache", o, 900_000, 600_000)
 }
 
+// TestCheckpointGoldenMidOverload: the golden guarantee while the server is
+// actively shedding — checkpoint taken with refused connections on the books,
+// armed idle timers, live backlog entries, and a partially-filled latency
+// histogram, then restored and run on. A probe twin first proves the
+// checkpoint cycle really lands mid-overload and the new audit checks pass
+// on that state.
+func TestCheckpointGoldenMidOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-kilocycle simulation")
+	}
+	o := core.Options{
+		Processor:         core.SMT,
+		Seed:              13,
+		CyclesPer10ms:     40_000,
+		Clients:           128,
+		ServerProcesses:   16,
+		KeepAliveRequests: 4,
+		AcceptBacklog:     4,
+		IdleTimeoutTicks:  3,
+		Faults: faults.Config{
+			SlowClientRate:  0.2,
+			TrickleTicks:    2,
+			StormClientRate: 0.2,
+			StormHoldTicks:  5,
+			BurstEvery:      3,
+			BurstSize:       24,
+		},
+	}
+	const n, m = 900_000, 600_000
+
+	probe, err := core.New("apache", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Run(n)
+	w := report.Take(probe)
+	if w.ConnsRefused == 0 {
+		t.Fatalf("checkpoint cycle not mid-overload: no refused connections (reaps idle=%d slow=%d)",
+			w.ReapedIdle, w.ReapedSlowloris)
+	}
+	if w.ReapedIdle+w.ReapedSlowloris == 0 {
+		t.Fatal("checkpoint cycle not mid-overload: idle reaper never fired")
+	}
+	if w.Latency.Count == 0 {
+		t.Fatal("checkpoint cycle not mid-overload: latency histogram empty")
+	}
+	if err := probe.Audit(); err != nil {
+		t.Fatalf("audit of mid-overload state failed: %v", err)
+	}
+
+	goldenCase(t, "apache", o, n, m)
+}
+
 func TestCheckpointRejectsWorkloadMismatch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-hundred-kilocycle simulation")

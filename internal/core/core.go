@@ -85,6 +85,14 @@ type Options struct {
 	// Faults configures fault injection (zero value = disabled; a
 	// disabled configuration perturbs nothing).
 	Faults faults.Config
+	// AcceptBacklog bounds the kernel's listen queue (0 = the kernel
+	// default modeling Digital Unix's somaxconn); a SYN at a full backlog
+	// is dropped and recovered by the client's retransmit path.
+	AcceptBacklog int
+	// IdleTimeoutTicks, when > 0, makes the kernel reap accepted
+	// connections idle for that many 10 ms network ticks (stalled
+	// slowloris requests and idle keep-alive connections alike).
+	IdleTimeoutTicks int
 	// SeedPartitions is the number of derived RNG seed partitions carved
 	// out of Seed, one per subsystem stream (kernel, SPECInt, network,
 	// Apache, faults, sampling), spaced seedStride apart so the streams
@@ -177,6 +185,12 @@ func (o Options) Validate() error {
 	if o.KeepAliveRequests < 0 {
 		return fmt.Errorf("core: negative KeepAliveRequests %d", o.KeepAliveRequests)
 	}
+	if o.AcceptBacklog < 0 {
+		return fmt.Errorf("core: negative AcceptBacklog %d", o.AcceptBacklog)
+	}
+	if o.IdleTimeoutTicks < 0 {
+		return fmt.Errorf("core: negative IdleTimeoutTicks %d", o.IdleTimeoutTicks)
+	}
 	if o.BufferCacheHitRate < 0 || o.BufferCacheHitRate > 1 {
 		return fmt.Errorf("core: BufferCacheHitRate %v outside [0,1]", o.BufferCacheHitRate)
 	}
@@ -255,6 +269,8 @@ func kernelConfig(o Options, contexts int) kernel.Config {
 	if o.CyclesPer10ms > 0 {
 		kcfg.CyclesPer10ms = o.CyclesPer10ms
 	}
+	kcfg.AcceptBacklog = o.AcceptBacklog
+	kcfg.IdleTimeoutTicks = uint64(o.IdleTimeoutTicks)
 	return kcfg
 }
 
@@ -318,6 +334,15 @@ func NewApache(o Options) *Simulator {
 	}
 	if o.KeepAliveRequests > 1 {
 		ncfg.RequestsPerConn = o.KeepAliveRequests
+	}
+	if o.Faults.BurstEvery > 0 {
+		// Size the dormant flash-crowd pool at 4 waves' worth of clients,
+		// so consecutive bursts overlap before earlier arrivals drain.
+		bs := o.Faults.BurstSize
+		if bs == 0 {
+			bs = faults.DefaultBurstSize
+		}
+		ncfg.BurstPool = bs * 4
 	}
 	net := netsim.New(ncfg)
 	sim.Net = net

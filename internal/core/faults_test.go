@@ -24,6 +24,14 @@ func TestOptionsValidate(t *testing.T) {
 		{BufferCacheHitRate: 1.5},
 		{Faults: faults.Config{LossRate: 2}},
 		{Faults: faults.Config{CrashRate: -1}},
+		{AcceptBacklog: -1},
+		{IdleTimeoutTicks: -2},
+		{Faults: faults.Config{SlowClientRate: 2}},
+		{Faults: faults.Config{StormClientRate: -0.1}},
+		{Faults: faults.Config{TrickleTicks: -1}},
+		{Faults: faults.Config{StormHoldTicks: -1}},
+		{Faults: faults.Config{BurstEvery: -3}},
+		{Faults: faults.Config{BurstSize: -1}},
 	}
 	for i, o := range bad {
 		if err := o.Validate(); err == nil {
@@ -177,5 +185,72 @@ func TestFaultSeedIndependentOfConfigPresence(t *testing.T) {
 		a.Engine.Metrics.Retired != b.Engine.Metrics.Retired {
 		t.Fatalf("identical fault runs diverged: retired %d vs %d",
 			a.Engine.Metrics.Retired, b.Engine.Metrics.Retired)
+	}
+}
+
+// TestComposedFaultDomainsStaySane: all three fault domains at once — frame
+// loss, worker crashes, and the overload client mix — across multiple seeds.
+// Each run must finish under the watchdog with every domain demonstrably
+// active, and an identically-configured twin must match counter-for-counter:
+// composing fault domains must not introduce nondeterminism or livelock.
+func TestComposedFaultDomainsStaySane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several multi-million-cycle simulations")
+	}
+	for _, seed := range []uint64{5, 9} {
+		build := func() *Simulator {
+			return NewApache(Options{
+				Seed:             seed,
+				CyclesPer10ms:    60_000,
+				Clients:          96,
+				AcceptBacklog:    16,
+				IdleTimeoutTicks: 4,
+				Faults: faults.Config{
+					LossRate:        0.05,
+					CrashRate:       0.01,
+					SlowClientRate:  0.15,
+					TrickleTicks:    2,
+					StormClientRate: 0.15,
+					StormHoldTicks:  6,
+					BurstEvery:      4,
+					BurstSize:       8,
+				},
+			})
+		}
+		a, b := build(), build()
+		for _, sim := range []*Simulator{a, b} {
+			if err := sim.RunChecked(context.Background(), 4_000_000); err != nil {
+				t.Fatalf("seed %d: composed-fault run tripped: %v", seed, err)
+			}
+		}
+		// Every domain active: loss...
+		if a.Faults.DroppedToServer+a.Faults.DroppedToClient == 0 || a.Net.Retransmits == 0 {
+			t.Fatalf("seed %d: loss domain idle", seed)
+		}
+		// ...crashes...
+		if a.Kernel.WorkerCrashes == 0 || a.Kernel.WorkerRespawns != a.Kernel.WorkerCrashes {
+			t.Fatalf("seed %d: crash domain idle or unbalanced: crashes=%d respawns=%d",
+				seed, a.Kernel.WorkerCrashes, a.Kernel.WorkerRespawns)
+		}
+		// ...and overload: shedding machinery engaged, yet work still completes.
+		if a.Kernel.ConnsRefused+a.Kernel.ReapedIdle+a.Kernel.ReapedSlowloris == 0 {
+			t.Fatalf("seed %d: overload domain idle (refused=%d idle=%d slow=%d)",
+				seed, a.Kernel.ConnsRefused, a.Kernel.ReapedIdle, a.Kernel.ReapedSlowloris)
+		}
+		if a.Net.Completed == 0 || a.Net.Latency.Count == 0 {
+			t.Fatalf("seed %d: nothing completed under composed faults", seed)
+		}
+		// The twin matches bit-for-bit across all three domains.
+		if a.Faults.DroppedToServer != b.Faults.DroppedToServer ||
+			a.Kernel.WorkerCrashes != b.Kernel.WorkerCrashes ||
+			a.Kernel.ConnsRefused != b.Kernel.ConnsRefused ||
+			a.Kernel.ReapedIdle != b.Kernel.ReapedIdle ||
+			a.Kernel.ReapedSlowloris != b.Kernel.ReapedSlowloris ||
+			a.Net.Completed != b.Net.Completed ||
+			a.Net.Latency != b.Net.Latency ||
+			a.Engine.Metrics.Retired != b.Engine.Metrics.Retired {
+			t.Fatalf("seed %d: composed-fault twins diverged", seed)
+		}
+		a.Engine.CheckInvariants()
 	}
 }

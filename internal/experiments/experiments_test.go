@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-interrupt", "ablation-procs", "ablation-dma",
 		"ablation-affinity", "ablation-keepalive", "ablation-diskbound",
 		"ablation-loss", "ablation-crash", "ablation-sampling",
+		"ablation-overload",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -183,5 +184,42 @@ func TestFaultAblationsRender(t *testing.T) {
 		if len(res.Text) < 50 || len(res.Values) == 0 {
 			t.Fatalf("%s produced thin output:\n%s", id, res.Text)
 		}
+	}
+}
+
+// TestOverloadAblationShape asserts graceful degradation at Quick scale:
+// pushing offered load to 10x of the capacity point must keep completed
+// throughput within 80% of the sweep's peak on both processors (shedding,
+// not collapse), must actually exercise the shedding machinery, and must
+// never trip the watchdog. Identical seeds must reproduce the table
+// byte-for-byte.
+func TestOverloadAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten supervised simulations at Quick scale")
+	}
+	res, err := Run("ablation-overload", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values
+	if v["watchdogTrips"] != 0 {
+		t.Fatalf("watchdog tripped %v time(s) during the sweep:\n%s", v["watchdogTrips"], res.Text)
+	}
+	for _, tag := range []string{"smt", "ss"} {
+		peak, last := v[tag+"Peak"], v[tag+"Done10x"]
+		if peak <= 0 {
+			t.Fatalf("%s: no completed requests anywhere in the sweep:\n%s", tag, res.Text)
+		}
+		if last < 0.8*peak {
+			t.Fatalf("%s: throughput collapsed under overload: done@10x %.0f < 80%% of peak %.0f\n%s",
+				tag, last, peak, res.Text)
+		}
+	}
+	rerun, err := Run("ablation-overload", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != rerun.Text {
+		t.Fatal("overload ablation nondeterministic across identical runs")
 	}
 }

@@ -11,6 +11,11 @@
 //   - process: Apache worker crashes at syscall boundaries (package kernel
 //     reacts by running the exit path, tearing the address space down, and
 //     re-forking a replacement worker);
+//   - overload: misbehaving client populations — slowloris-style trickle
+//     senders, keep-alive storms that hold connections across long think
+//     times, and flash-crowd arrival bursts (package kernel reacts with a
+//     bounded accept backlog and per-connection idle reaping; see FAULTS.md
+//     "Overload");
 //   - simulation guardrails: a watchdog (core.RunChecked) that detects
 //     livelock and deadline overrun, and converts engine panics into
 //     structured errors carrying a diagnostic snapshot.
@@ -42,6 +47,15 @@ const (
 	// DefaultLivelockWindow is the watchdog's no-retirement window in
 	// cycles before a run is declared livelocked.
 	DefaultLivelockWindow = 2_000_000
+	// DefaultTrickleTicks is the gap between request chunks a slow-trickle
+	// client sends, in 10 ms network ticks.
+	DefaultTrickleTicks = 8
+	// DefaultStormHoldTicks is how long a keep-alive-storm client holds its
+	// connection idle between requests, in network ticks.
+	DefaultStormHoldTicks = 64
+	// DefaultBurstSize is how many dormant flash-crowd clients activate per
+	// burst.
+	DefaultBurstSize = 32
 )
 
 // Config parameterizes fault injection. The zero value disables every
@@ -82,13 +96,46 @@ type Config struct {
 	// LivelockWindow is the watchdog's no-retirement window in cycles for
 	// core.RunChecked (0 = DefaultLivelockWindow).
 	LivelockWindow uint64
+
+	// SlowClientRate is the probability a simulated client is a
+	// slowloris-style trickle sender: it opens a connection with a bare SYN
+	// and dribbles its request in chunks every TrickleTicks, occupying a
+	// server worker (or backlog slot) the whole time.
+	SlowClientRate float64
+	// TrickleTicks is the gap between a slow client's request chunks in
+	// network ticks (0 = DefaultTrickleTicks).
+	TrickleTicks int
+	// StormClientRate is the probability a client is a keep-alive storm
+	// client: it completes requests normally but holds its connection open
+	// across StormHoldTicks of think time, pinning a worker in a blocked
+	// read until the kernel's idle reaper intervenes.
+	StormClientRate float64
+	// StormHoldTicks is a storm client's idle hold between requests in
+	// network ticks (0 = DefaultStormHoldTicks).
+	StormHoldTicks int
+	// BurstEvery, when > 0, activates a flash-crowd burst of BurstSize
+	// dormant clients every BurstEvery network ticks; each opens a fresh
+	// one-shot connection, spiking the accept backlog.
+	BurstEvery int
+	// BurstSize is the number of clients per flash-crowd burst
+	// (0 = DefaultBurstSize).
+	BurstSize int
 }
 
 // Enabled reports whether any fault domain injects (the client retry
 // machinery arms whenever this is true, so crashes are recoverable even
 // without network faults).
 func (c Config) Enabled() bool {
-	return c.LossRate > 0 || c.CorruptRate > 0 || c.DelayRate > 0 || c.CrashRate > 0
+	return c.LossRate > 0 || c.CorruptRate > 0 || c.DelayRate > 0 || c.CrashRate > 0 ||
+		c.OverloadEnabled()
+}
+
+// OverloadEnabled reports whether any overload client behavior is
+// configured. Overload counts as a fault domain for Enabled so that clients
+// arm their retry machinery — a SYN refused by a full accept backlog is
+// recovered through the ordinary retransmit path.
+func (c Config) OverloadEnabled() bool {
+	return c.SlowClientRate > 0 || c.StormClientRate > 0 || c.BurstEvery > 0
 }
 
 // Validate rejects nonsensical fault parameters.
@@ -101,6 +148,8 @@ func (c Config) Validate() error {
 		{"CorruptRate", c.CorruptRate},
 		{"DelayRate", c.DelayRate},
 		{"CrashRate", c.CrashRate},
+		{"SlowClientRate", c.SlowClientRate},
+		{"StormClientRate", c.StormClientRate},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faults: %s %v outside [0,1]", p.name, p.v)
@@ -112,6 +161,14 @@ func (c Config) Validate() error {
 	if c.RetryTimeoutTicks < 0 || c.BackoffCapTicks < 0 || c.MaxRetries < 0 {
 		return fmt.Errorf("faults: negative retry parameter (timeout %d, cap %d, retries %d)",
 			c.RetryTimeoutTicks, c.BackoffCapTicks, c.MaxRetries)
+	}
+	if c.TrickleTicks < 0 || c.StormHoldTicks < 0 {
+		return fmt.Errorf("faults: negative overload tick parameter (trickle %d, storm hold %d)",
+			c.TrickleTicks, c.StormHoldTicks)
+	}
+	if c.BurstEvery < 0 || c.BurstSize < 0 {
+		return fmt.Errorf("faults: negative burst parameter (every %d, size %d)",
+			c.BurstEvery, c.BurstSize)
 	}
 	return nil
 }
@@ -130,6 +187,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxDelayTicks == 0 {
 		c.MaxDelayTicks = 2
 	}
+	if c.TrickleTicks == 0 {
+		c.TrickleTicks = DefaultTrickleTicks
+	}
+	if c.StormHoldTicks == 0 {
+		c.StormHoldTicks = DefaultStormHoldTicks
+	}
+	if c.BurstSize == 0 {
+		c.BurstSize = DefaultBurstSize
+	}
 	return c
 }
 
@@ -141,6 +207,7 @@ type Injector struct {
 
 	netRng  *rng.Rand
 	procRng *rng.Rand
+	ovlRng  *rng.Rand
 
 	// DroppedToServer / DroppedToClient count frames the wire lost, by
 	// direction; Corrupted counts frames delivered damaged; Delayed counts
@@ -161,6 +228,7 @@ func NewInjector(cfg Config) *Injector {
 		Cfg:     cfg,
 		netRng:  rng.New(cfg.Seed ^ 0x6e657466_61756c74), // "netfault"
 		procRng: rng.New(cfg.Seed ^ 0x70726f63_66617574), // "procfaut"
+		ovlRng:  rng.New(cfg.Seed ^ 0x6f766572_6c6f6164), // "overload"
 	}
 }
 
@@ -185,6 +253,18 @@ func (i *Injector) DelayTicks() int {
 	}
 	i.Delayed++
 	return 1 + i.netRng.Intn(i.Cfg.MaxDelayTicks)
+}
+
+// SlowClient decides whether one client of the population is a
+// slow-trickle sender (sampled once per client at wiring time).
+func (i *Injector) SlowClient() bool {
+	return i.Cfg.SlowClientRate > 0 && i.ovlRng.Bool(i.Cfg.SlowClientRate)
+}
+
+// StormClient decides whether one client is a keep-alive storm client
+// (sampled once per client at wiring time).
+func (i *Injector) StormClient() bool {
+	return i.Cfg.StormClientRate > 0 && i.ovlRng.Bool(i.Cfg.StormClientRate)
 }
 
 // CrashNow decides whether a worker dies at this syscall boundary.

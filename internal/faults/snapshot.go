@@ -1,11 +1,12 @@
-// Checkpoint serialization for the fault injector: both RNG streams and the
-// injection counters, so a restored run replays the same fault schedule.
+// Checkpoint serialization for the fault injector: all three RNG streams and
+// the injection counters, so a restored run replays the same fault schedule.
 package faults
 
 // Snapshot captures the injector's mutable state.
 type Snapshot struct {
 	NetRNG          [4]uint64
 	ProcRNG         [4]uint64
+	OvlRNG          [4]uint64
 	DroppedToServer uint64
 	DroppedToClient uint64
 	Corrupted       uint64
@@ -18,6 +19,7 @@ func (i *Injector) Snapshot() Snapshot {
 	return Snapshot{
 		NetRNG:          i.netRng.State(),
 		ProcRNG:         i.procRng.State(),
+		OvlRNG:          i.ovlRng.State(),
 		DroppedToServer: i.DroppedToServer,
 		DroppedToClient: i.DroppedToClient,
 		Corrupted:       i.Corrupted,
@@ -30,6 +32,7 @@ func (i *Injector) Snapshot() Snapshot {
 func (i *Injector) Restore(s Snapshot) {
 	i.netRng.SetState(s.NetRNG)
 	i.procRng.SetState(s.ProcRNG)
+	i.ovlRng.SetState(s.OvlRNG)
 	i.DroppedToServer = s.DroppedToServer
 	i.DroppedToClient = s.DroppedToClient
 	i.Corrupted = s.Corrupted

@@ -182,6 +182,9 @@ func (k *Kernel) Cycle(now uint64) []int {
 	}
 	k.lastTick = now
 	frames := k.net.tick(now)
+	if k.cfg.IdleTimeoutTicks > 0 {
+		k.reapIdle()
+	}
 	hasNet := len(frames) > 0
 	if hasNet {
 		k.net.pending = append(k.net.pending, frames...)

@@ -44,16 +44,31 @@ type SocketInfo struct {
 	Closed  bool
 	Owner   uint32
 	Waiters int
+	// AcceptQ is a copy of the live accept-queue window (listen sockets).
+	AcceptQ []int
+	// LastActive is the network tick of the socket's last activity.
+	LastActive uint64
 }
 
 // SocketInfos returns a summary of every kernel socket.
 func (k *Kernel) SocketInfos() []SocketInfo {
 	out := make([]SocketInfo, 0, len(k.net.socks))
 	for _, s := range k.net.socks {
-		out = append(out, SocketInfo{
+		si := SocketInfo{
 			ID: s.id, Listen: s.listen, Conn: s.conn,
 			Closed: s.closed, Owner: s.owner, Waiters: len(s.waiters),
-		})
+			LastActive: s.lastActive,
+		}
+		if s.listen && s.acceptLen() > 0 {
+			si.AcceptQ = append([]int(nil), s.acceptQ[s.acceptHead:]...)
+		}
+		out = append(out, si)
 	}
 	return out
 }
+
+// AcceptBacklogLimit returns the effective accept-queue bound (for audits).
+func (k *Kernel) AcceptBacklogLimit() int { return k.backlogLimit() }
+
+// NetTicks returns the number of elapsed 10 ms network ticks (for audits).
+func (k *Kernel) NetTicks() uint64 { return k.net.ticks }

@@ -75,7 +75,20 @@ type Config struct {
 	// an idle context fetches nothing until work arrives. Idle cycles are
 	// attributed either way.
 	IdleSpin bool
+	// AcceptBacklog bounds the listen socket's accept queue (0 =
+	// DefaultAcceptBacklog, modeling Digital Unix's somaxconn). A SYN
+	// arriving at a full backlog is dropped; the client recovers through
+	// its retransmit path.
+	AcceptBacklog int
+	// IdleTimeoutTicks, when > 0, reaps accepted connection sockets idle
+	// for that many 10 ms network ticks: stalled slowloris requests and
+	// idle keep-alive connections alike.
+	IdleTimeoutTicks uint64
 }
+
+// DefaultAcceptBacklog is the default listen-queue bound (Digital Unix
+// shipped somaxconn-sized listen queues of this order).
+const DefaultAcceptBacklog = 1024
 
 // DefaultConfig returns the configuration used by the experiments.
 func DefaultConfig() Config {
@@ -208,6 +221,12 @@ type Kernel struct {
 	// domain: injected worker deaths and the master's re-forks.
 	WorkerCrashes  uint64
 	WorkerRespawns uint64
+	// ConnsRefused counts SYNs dropped at a full accept backlog;
+	// ReapedIdle and ReapedSlowloris count idle-timer teardowns of idle
+	// keep-alive connections and stalled (slow-trickle) requests.
+	ConnsRefused    uint64
+	ReapedIdle      uint64
+	ReapedSlowloris uint64
 }
 
 // cacheInvalidator is the slice of the cache hierarchy the kernel needs for

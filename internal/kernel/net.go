@@ -41,12 +41,46 @@ type socket struct {
 	listen  bool
 	conn    int
 	acceptQ []int
-	data    int
-	closed  bool
-	waiters []*Thread
+	// acceptHead indexes the first live acceptQ entry: accepts advance the
+	// head instead of re-slicing so the consumed prefix of the backing
+	// array does not leak; the queue compacts amortized (same pattern as
+	// ctxFeed in feed.go).
+	acceptHead int //detlint:ignore snapshotcomplete normalized away: snapshots serialize acceptQ[acceptHead:]
+	data       int
+	closed     bool
+	waiters    []*Thread
 	// owner is the tid of the thread that accepted the socket (0 = none);
 	// the crash-cleanup path uses it to reap a dead worker's descriptors.
 	owner uint32
+	// lastActive is the network tick of the socket's last activity (data
+	// arrival, read, write, accept); the idle reaper keys off it.
+	lastActive uint64
+	// reqBytes counts request bytes received since the last response was
+	// written; a reaped socket with reqBytes > 0 (or never served) is a
+	// stalled request — slowloris — rather than an idle keep-alive.
+	reqBytes int
+	// served records that at least one response was written.
+	served bool
+}
+
+// acceptLen returns the number of pending (unaccepted) connections.
+func (s *socket) acceptLen() int { return len(s.acceptQ) - s.acceptHead }
+
+// popAccept removes and returns the oldest pending connection. The consumed
+// prefix is reclaimed amortized: the queue resets when it drains and
+// compacts once the dead prefix outweighs the live tail.
+func (s *socket) popAccept() int {
+	sid := s.acceptQ[s.acceptHead]
+	s.acceptHead++
+	if s.acceptHead == len(s.acceptQ) {
+		s.acceptQ = s.acceptQ[:0]
+		s.acceptHead = 0
+	} else if s.acceptHead >= 64 && s.acceptHead >= len(s.acceptQ)-s.acceptHead {
+		n := copy(s.acceptQ, s.acceptQ[s.acceptHead:])
+		s.acceptQ = s.acceptQ[:n]
+		s.acceptHead = 0
+	}
+	return sid
 }
 
 // netState is the kernel's network stack state.
@@ -56,6 +90,8 @@ type netState struct {
 	byConn  map[int]int // connection id -> socket id
 	pending []Frame     // frames awaiting netisr processing
 	now     uint64
+	// ticks counts 10 ms network ticks; idle timers are expressed in it.
+	ticks uint64
 	// Delivered counts frames fully processed by netisr.
 	Delivered uint64
 	// Dropped counts frames for unknown connections or discarded as
@@ -72,6 +108,7 @@ func newNetState() *netState {
 
 func (ns *netState) tick(now uint64) []Frame {
 	ns.now = now
+	ns.ticks++
 	if ns.nic == nil {
 		return nil
 	}
@@ -141,10 +178,19 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 		case fr.Ack:
 			// Pure protocol work; nothing delivered to a socket.
 		case fr.Open && !connKnown(ns, fr.Conn):
-			s := &socket{id: len(ns.socks), conn: fr.Conn, data: fr.Bytes}
+			ls := ns.socks[ListenFD]
+			if ls.acceptLen() >= k.backlogLimit() {
+				// Listen queue full: the SYN is dropped (Digital Unix's
+				// somaxconn behavior). The client sees it as loss and
+				// recovers through its retransmit path.
+				ns.Dropped++
+				k.ConnsRefused++
+				continue
+			}
+			s := &socket{id: len(ns.socks), conn: fr.Conn, data: fr.Bytes,
+				lastActive: ns.ticks, reqBytes: fr.Bytes}
 			ns.socks = append(ns.socks, s)
 			ns.byConn[fr.Conn] = s.id
-			ls := ns.socks[ListenFD]
 			ls.acceptQ = append(ls.acceptQ, s.id)
 			if w := popWaiter(ls); w != nil {
 				k.completeAccept(w, ls)
@@ -156,10 +202,12 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 				continue
 			}
 			s := ns.socks[sid]
+			s.lastActive = ns.ticks
 			if fr.Close {
 				s.closed = true
 			} else {
 				s.data += fr.Bytes
+				s.reqBytes += fr.Bytes
 			}
 			if w := popWaiter(s); w != nil {
 				k.completeRead(w, s)
@@ -203,6 +251,47 @@ func (k *Kernel) reapSockets(t *Thread) {
 	}
 }
 
+// backlogLimit returns the effective accept-backlog bound.
+func (k *Kernel) backlogLimit() int {
+	if k.cfg.AcceptBacklog > 0 {
+		return k.cfg.AcceptBacklog
+	}
+	return DefaultAcceptBacklog
+}
+
+// reapIdle tears down accepted connection sockets that have seen no
+// activity for IdleTimeoutTicks network ticks: stalled slowloris requests
+// and idle keep-alive connections both go through the same path the crash
+// reaper uses — mark closed, drop the demux entry, send the client a FIN,
+// and wake any blocked reader with 0 so the owning worker runs its ordinary
+// connection-close path. Unaccepted connections still in the backlog are
+// not timed; the backlog bound is what limits those.
+func (k *Kernel) reapIdle() {
+	ns := k.net
+	timeout := k.cfg.IdleTimeoutTicks
+	for _, s := range ns.socks {
+		if s.listen || s.closed || s.owner == 0 {
+			continue
+		}
+		if ns.ticks-s.lastActive < timeout {
+			continue
+		}
+		if s.served && s.reqBytes == 0 {
+			k.ReapedIdle++
+		} else {
+			k.ReapedSlowloris++
+		}
+		s.closed = true
+		delete(ns.byConn, s.conn)
+		if ns.nic != nil {
+			ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
+		}
+		if w := popWaiter(s); w != nil {
+			k.completeRead(w, s)
+		}
+	}
+}
+
 // popWaiter removes and returns the oldest thread sleeping on a socket.
 func popWaiter(s *socket) *Thread {
 	if len(s.waiters) == 0 {
@@ -215,13 +304,14 @@ func popWaiter(s *socket) *Thread {
 
 // completeAccept finishes a blocked accept: pop a pending connection.
 func (k *Kernel) completeAccept(t *Thread, ls *socket) {
-	if len(ls.acceptQ) == 0 {
+	if ls.acceptLen() == 0 {
 		ls.waiters = append(ls.waiters, t)
 		return
 	}
-	sid := ls.acceptQ[0]
-	ls.acceptQ = ls.acceptQ[1:]
-	k.net.socks[sid].owner = t.tid
+	sid := ls.popAccept()
+	so := k.net.socks[sid]
+	so.owner = t.tid
+	so.lastActive = k.net.ticks
 	t.wakeResult = sid
 	k.wake(t)
 }
@@ -249,10 +339,11 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 		if ls == nil {
 			return -1, false
 		}
-		if len(ls.acceptQ) > 0 {
-			sid := ls.acceptQ[0]
-			ls.acceptQ = ls.acceptQ[1:]
-			ns.socks[sid].owner = t.tid
+		if ls.acceptLen() > 0 {
+			sid := ls.popAccept()
+			so := ns.socks[sid]
+			so.owner = t.tid
+			so.lastActive = ns.ticks
 			return sid, false
 		}
 		ls.waiters = append(ls.waiters, t)
@@ -260,7 +351,7 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 	case sys.SysSelect:
 		// Used non-blocking by the server model: report readiness.
 		ls := ns.sock(ListenFD)
-		if ls != nil && len(ls.acceptQ) > 0 {
+		if ls != nil && ls.acceptLen() > 0 {
 			return 1, false
 		}
 		if req.Blocking {
@@ -277,6 +368,7 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 			if s.data > 0 || s.closed {
 				n := s.data
 				s.data = 0
+				s.lastActive = ns.ticks
 				return n, false
 			}
 			if !req.Blocking {
@@ -291,6 +383,11 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 			s := ns.sock(req.FD)
 			if s != nil && ns.nic != nil {
 				ns.nic.Transmit(Frame{Conn: s.conn, Bytes: req.Bytes}, ns.now)
+			}
+			if s != nil {
+				s.lastActive = ns.ticks
+				s.served = true
+				s.reqBytes = 0
 			}
 		}
 		return req.Bytes, false

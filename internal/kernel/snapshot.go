@@ -92,16 +92,21 @@ type FeedSnap struct {
 	IntrNet        bool
 }
 
-// SocketSnap is the serialized form of one kernel socket.
+// SocketSnap is the serialized form of one kernel socket. AcceptQ holds
+// only the live window acceptQ[acceptHead:]; the head index is normalized
+// away.
 type SocketSnap struct {
-	ID      int
-	Listen  bool
-	Conn    int
-	AcceptQ []int
-	Data    int
-	Closed  bool
-	Waiters []uint32
-	Owner   uint32
+	ID         int
+	Listen     bool
+	Conn       int
+	AcceptQ    []int
+	Data       int
+	Closed     bool
+	Waiters    []uint32
+	Owner      uint32
+	LastActive uint64
+	ReqBytes   int
+	Served     bool
 }
 
 // NetSnap is the serialized form of the kernel network stack.
@@ -110,6 +115,7 @@ type NetSnap struct {
 	ByConn    []ConnSock // sorted by Conn
 	Pending   []Frame
 	Now       uint64
+	Ticks     uint64
 	Delivered uint64
 	Dropped   uint64
 }
@@ -158,6 +164,9 @@ type Snapshot struct {
 	DiskReads       uint64
 	WorkerCrashes   uint64
 	WorkerRespawns  uint64
+	ConnsRefused    uint64
+	ReapedIdle      uint64
+	ReapedSlowloris uint64
 }
 
 // ProgFactory rebuilds the structure of a user program identified by
@@ -191,6 +200,9 @@ func (k *Kernel) Snapshot() Snapshot {
 		DiskReads:       k.DiskReads,
 		WorkerCrashes:   k.WorkerCrashes,
 		WorkerRespawns:  k.WorkerRespawns,
+		ConnsRefused:    k.ConnsRefused,
+		ReapedIdle:      k.ReapedIdle,
+		ReapedSlowloris: k.ReapedSlowloris,
 	}
 
 	// Kernel-code walkers, in deterministic (region, ctx) order.
@@ -268,12 +280,13 @@ func (k *Kernel) Snapshot() Snapshot {
 
 	ns := k.net
 	s.Net = NetSnap{Pending: append([]Frame(nil), ns.pending...), Now: ns.now,
-		Delivered: ns.Delivered, Dropped: ns.Dropped}
+		Ticks: ns.ticks, Delivered: ns.Delivered, Dropped: ns.Dropped}
 	for _, so := range ns.socks {
 		ss := SocketSnap{
 			ID: so.id, Listen: so.listen, Conn: so.conn,
-			AcceptQ: append([]int(nil), so.acceptQ...),
+			AcceptQ: append([]int(nil), so.acceptQ[so.acceptHead:]...),
 			Data:    so.data, Closed: so.closed, Owner: so.owner,
+			LastActive: so.lastActive, ReqBytes: so.reqBytes, Served: so.served,
 		}
 		for _, w := range so.waiters {
 			ss.Waiters = append(ss.Waiters, w.tid)
@@ -425,6 +438,7 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 			id: ss.ID, listen: ss.Listen, conn: ss.Conn,
 			acceptQ: append([]int(nil), ss.AcceptQ...),
 			data:    ss.Data, closed: ss.Closed, owner: ss.Owner,
+			lastActive: ss.LastActive, reqBytes: ss.ReqBytes, served: ss.Served,
 		}
 		for _, tid := range ss.Waiters {
 			t := k.threadByTID(tid)
@@ -441,6 +455,7 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 	}
 	ns.pending = append(ns.pending[:0], s.Net.Pending...)
 	ns.now = s.Net.Now
+	ns.ticks = s.Net.Ticks
 	ns.Delivered = s.Net.Delivered
 	ns.Dropped = s.Net.Dropped
 
@@ -465,6 +480,9 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 	k.DiskReads = s.DiskReads
 	k.WorkerCrashes = s.WorkerCrashes
 	k.WorkerRespawns = s.WorkerRespawns
+	k.ConnsRefused = s.ConnsRefused
+	k.ReapedIdle = s.ReapedIdle
+	k.ReapedSlowloris = s.ReapedSlowloris
 	return progs, nil
 }
 

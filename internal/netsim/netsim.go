@@ -22,12 +22,21 @@
 // All fault sampling comes from the injector's own deterministic stream;
 // with no injector (the default) none of these paths execute and behavior
 // is bit-identical to the fault-free driver.
+//
+// The injector's overload domain additionally reshapes the client
+// population itself (see FAULTS.md "Overload"): slow-trickle senders that
+// open with a bare SYN and dribble the request in chunks, keep-alive storm
+// clients that hold connections across long think times, and a dormant
+// flash-crowd pool that activates in bursts. With overload on, every
+// completed request's end-to-end latency (issue tick to last response
+// byte) is recorded in a deterministic fixed-bucket histogram.
 package netsim
 
 import (
 	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
 // Config parameterizes the client driver.
@@ -45,6 +54,10 @@ type Config struct {
 	// RequestsPerConn is the number of requests issued per connection
 	// (1 = SPECWeb96/HTTP-1.0 behavior; >1 models HTTP/1.1 keep-alive).
 	RequestsPerConn int
+	// BurstPool is the number of extra dormant flash-crowd clients beyond
+	// Clients; they activate in waves under the fault injector's
+	// BurstEvery/BurstSize overload config and are inert otherwise.
+	BurstPool int
 }
 
 // DefaultConfig returns the paper's client setup.
@@ -59,8 +72,24 @@ const (
 	csWaiting
 )
 
+// Client kinds under the overload fault domain. Kinds other than ckNormal
+// change behavior only while overload config is enabled.
+type clientKind uint8
+
+const (
+	ckNormal clientKind = iota
+	ckSlow              // slowloris: bare SYN, then request chunks every TrickleTicks
+	ckStorm             // keep-alive storm: holds the connection across StormHoldTicks
+	ckBurst             // flash crowd: dormant until a burst wave activates it
+)
+
+// dormantTick is the nextAt sentinel that parks a burst client until a
+// wave activates it.
+const dormantTick = ^uint64(0)
+
 type client struct {
 	state  clientState
+	kind   clientKind
 	conn   int
 	nextAt uint64 // tick index when the next request may start
 	got    int
@@ -80,6 +109,14 @@ type client struct {
 	retries int
 	// timeout is the current backoff interval in ticks.
 	timeout int
+	// sendLeft is the unsent remainder of a slow client's request; while
+	// nonzero the retransmit timer is held off (the client is still
+	// "typing") and a chunk goes out every time sendAt passes.
+	sendLeft int
+	sendAt   uint64
+	// startTick is the tick the in-flight request was issued, for
+	// end-to-end latency measurement.
+	startTick uint64
 }
 
 // delayedFrame is a frame held in transit by the fault injector.
@@ -119,9 +156,12 @@ type Network struct {
 	Retransmits uint64
 	Aborted     uint64
 	Resets      uint64
+	// Latency is the end-to-end request latency histogram in network
+	// ticks, populated only while the overload fault domain is enabled.
+	Latency stats.Hist
 }
 
-// New builds the client fleet.
+// New builds the client fleet (plus the dormant flash-crowd pool).
 func New(cfg Config) *Network {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 128
@@ -129,21 +169,48 @@ func New(cfg Config) *Network {
 	if cfg.RequestBytes <= 0 {
 		cfg.RequestBytes = 300
 	}
-	return &Network{
+	n := &Network{
 		cfg:     cfg,
 		rng:     rng.New(cfg.Seed ^ 0x5ec1e75),
-		clients: make([]client, cfg.Clients),
+		clients: make([]client, cfg.Clients+cfg.BurstPool),
 		nextID:  1,
 		files:   map[int]int{},
 	}
+	for i := cfg.Clients; i < len(n.clients); i++ {
+		n.clients[i].kind = ckBurst
+		n.clients[i].nextAt = dormantTick
+	}
+	return n
 }
 
-// SetFaults attaches a fault injector to the wire (nil detaches).
-func (n *Network) SetFaults(inj *faults.Injector) { n.inj = inj }
+// SetFaults attaches a fault injector to the wire (nil detaches). With the
+// overload domain enabled, the base client population is classified here —
+// one draw per client from the injector's overload stream — so the same
+// seed always misbehaves the same clients.
+func (n *Network) SetFaults(inj *faults.Injector) {
+	n.inj = inj
+	if inj == nil || !inj.Cfg.OverloadEnabled() {
+		return
+	}
+	for i := 0; i < n.cfg.Clients && i < len(n.clients); i++ {
+		c := &n.clients[i]
+		switch {
+		case inj.SlowClient():
+			c.kind = ckSlow
+		case inj.StormClient():
+			c.kind = ckStorm
+		default:
+			c.kind = ckNormal
+		}
+	}
+}
 
 // faultsOn reports whether the lossy-wire and client-retry machinery is
 // active.
 func (n *Network) faultsOn() bool { return n.inj != nil && n.inj.Cfg.Enabled() }
+
+// overloadOn reports whether the overload client behaviors are active.
+func (n *Network) overloadOn() bool { return n.inj != nil && n.inj.Cfg.OverloadEnabled() }
 
 // classOf returns the SPECWeb class index of a file size.
 func classOf(bytes int) int {
@@ -256,7 +323,13 @@ func (n *Network) resetClient(c *client) {
 	c.reqsLeft = 0
 	c.closing = false
 	c.disarmRetry()
+	c.sendLeft = 0
+	c.sendAt = 0
 	c.nextAt = n.ticks + 1 + uint64(n.cfg.ThinkTicks)
+	if c.kind == ckBurst && n.overloadOn() {
+		// A flash-crowd client that gave up goes back to the dormant pool.
+		c.nextAt = dormantTick
+	}
 }
 
 // Tick implements kernel.NIC: advance one 10 ms step and return the frames
@@ -269,6 +342,22 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 		n.delayedIn = n.releaseDue(n.delayedIn, func(fr kernel.Frame) { out = append(out, fr) })
 		n.delayedOut = n.releaseDue(n.delayedOut, n.deliverToClient)
 	}
+	if n.overloadOn() {
+		if be := n.inj.Cfg.BurstEvery; be > 0 && n.ticks%uint64(be) == 0 {
+			// Flash-crowd wave: wake up to BurstSize dormant clients.
+			room := n.inj.Cfg.BurstSize
+			for i := range n.clients {
+				if room == 0 {
+					break
+				}
+				c := &n.clients[i]
+				if c.kind == ckBurst && c.state == csIdle && c.nextAt == dormantTick {
+					c.nextAt = n.ticks
+					room--
+				}
+			}
+		}
+	}
 	for i := range n.clients {
 		c := &n.clients[i]
 		// Flush pending TCP acknowledgments for in-flight transfers.
@@ -276,7 +365,26 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 			c.acks--
 			out = n.sendToServer(out, kernel.Frame{Conn: c.conn, Ack: true})
 		}
-		if c.state == csWaiting && c.retryAt != 0 && n.ticks >= c.retryAt {
+		if c.state == csWaiting && c.sendLeft > 0 && n.ticks >= c.sendAt {
+			// Slow trickle: the next request chunk.
+			chunk := n.cfg.RequestBytes / 4
+			if chunk < 1 {
+				chunk = 1
+			}
+			if chunk > c.sendLeft {
+				chunk = c.sendLeft
+			}
+			c.sendLeft -= chunk
+			out = n.sendToServer(out, kernel.Frame{Conn: c.conn, Bytes: chunk})
+			if c.sendLeft == 0 {
+				// Request fully sent; only now does the ordinary
+				// retransmit timer take over.
+				n.armRetry(c, true)
+			} else {
+				c.sendAt = n.ticks + uint64(n.inj.Cfg.TrickleTicks)
+			}
+		}
+		if c.state == csWaiting && c.sendLeft == 0 && c.retryAt != 0 && n.ticks >= c.retryAt {
 			out = n.retryExpired(c, out)
 		}
 		if c.state != csIdle || c.nextAt > n.ticks {
@@ -292,6 +400,7 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 		c.got = 0
 		c.want = size
 		c.state = csWaiting
+		c.startTick = n.ticks
 		n.Requests++
 		if c.conn != 0 {
 			// Keep-alive: next request travels on the open connection.
@@ -305,10 +414,19 @@ func (n *Network) Tick(now uint64) []kernel.Frame {
 		n.files[conn] = size
 		c.conn = conn
 		c.reqsLeft = n.cfg.RequestsPerConn - 1
-		if c.reqsLeft < 0 {
+		if c.reqsLeft < 0 || (c.kind == ckBurst && n.overloadOn()) {
+			// Flash-crowd arrivals are one-shot connections.
 			c.reqsLeft = 0
 		}
-		out = n.sendToServer(out, kernel.Frame{Conn: conn, Bytes: n.cfg.RequestBytes, Open: true})
+		if c.kind == ckSlow && n.overloadOn() {
+			// Slowloris: a bare SYN now, the request body in trickled
+			// chunks. The worker that accepts blocks in read meanwhile.
+			c.sendLeft = n.cfg.RequestBytes
+			c.sendAt = n.ticks + uint64(n.inj.Cfg.TrickleTicks)
+			out = n.sendToServer(out, kernel.Frame{Conn: conn, Open: true})
+		} else {
+			out = n.sendToServer(out, kernel.Frame{Conn: conn, Bytes: n.cfg.RequestBytes, Open: true})
+		}
 		n.armRetry(c, true)
 	}
 	return out
@@ -362,15 +480,56 @@ func (n *Network) deliverToClient(fr kernel.Frame) {
 		}
 		return
 	}
+	// No waiting client matched. A server-side close (idle reaping, a
+	// crashed worker's cleanup) can land on a connection an idle client is
+	// holding between keep-alive requests; release it so the client's next
+	// request opens fresh. Never taken on a perfect wire: without faults
+	// the server only closes connections the client already let go of.
+	if fr.Close {
+		for i := range n.clients {
+			c := &n.clients[i]
+			if c.state == csIdle && c.conn != 0 && c.conn == fr.Conn {
+				delete(n.files, c.conn)
+				c.conn = 0
+				c.closing = false
+				return
+			}
+		}
+	}
 }
 
 func (n *Network) finish(c *client) {
 	n.Completed++
 	n.PerClass[classOf(c.want)]++
+	if n.overloadOn() {
+		n.Latency.Observe(n.ticks - c.startTick)
+	}
 	delete(n.files, c.conn)
 	c.state = csIdle
 	c.nextAt = n.ticks + 1 + uint64(n.cfg.ThinkTicks)
 	c.disarmRetry()
+	c.sendLeft = 0
+	c.sendAt = 0
+	if n.overloadOn() {
+		switch c.kind {
+		case ckBurst:
+			// Flash-crowd client: one request, then back to the dormant
+			// pool. The connection is abandoned without a FIN; the
+			// server side closes it (or the idle reaper does).
+			c.conn = 0
+			c.nextAt = dormantTick
+			return
+		case ckStorm:
+			// Keep-alive storm: hold the connection open across a long
+			// think time, pinning the worker in its blocked read. Only a
+			// server-side close (the idle reaper) ends it.
+			c.nextAt = n.ticks + 1 + uint64(n.inj.Cfg.StormHoldTicks)
+			if c.reqsLeft > 0 {
+				c.reqsLeft--
+			}
+			return
+		}
+	}
 	if c.reqsLeft > 0 {
 		// Connection stays open for the next request.
 		c.reqsLeft--

@@ -5,21 +5,26 @@ import (
 	"sort"
 
 	"repro/internal/kernel"
+	"repro/internal/stats"
 )
 
 // ClientSnap is the serialized form of one client state machine.
 type ClientSnap struct {
-	State    uint8
-	Conn     int
-	NextAt   uint64
-	Got      int
-	Want     int
-	ReqsLeft int
-	Closing  bool
-	Acks     int
-	RetryAt  uint64
-	Retries  int
-	Timeout  int
+	State     uint8
+	Kind      uint8
+	Conn      int
+	NextAt    uint64
+	Got       int
+	Want      int
+	ReqsLeft  int
+	Closing   bool
+	Acks      int
+	RetryAt   uint64
+	Retries   int
+	Timeout   int
+	SendLeft  int
+	SendAt    uint64
+	StartTick uint64
 }
 
 // DelayedSnap is one frame in transit under fault-injected delay.
@@ -50,6 +55,7 @@ type Snapshot struct {
 	Retransmits uint64
 	Aborted     uint64
 	Resets      uint64
+	Latency     stats.Hist
 }
 
 // Snapshot returns the network's mutable state. The files map is emitted
@@ -67,12 +73,14 @@ func (n *Network) Snapshot() Snapshot {
 		Retransmits: n.Retransmits,
 		Aborted:     n.Aborted,
 		Resets:      n.Resets,
+		Latency:     n.Latency,
 	}
 	for i, c := range n.clients {
 		s.Clients[i] = ClientSnap{
-			State: uint8(c.state), Conn: c.conn, NextAt: c.nextAt,
+			State: uint8(c.state), Kind: uint8(c.kind), Conn: c.conn, NextAt: c.nextAt,
 			Got: c.got, Want: c.want, ReqsLeft: c.reqsLeft, Closing: c.closing,
 			Acks: c.acks, RetryAt: c.retryAt, Retries: c.retries, Timeout: c.timeout,
+			SendLeft: c.sendLeft, SendAt: c.sendAt, StartTick: c.startTick,
 		}
 	}
 	for conn, size := range n.files {
@@ -97,9 +105,10 @@ func (n *Network) Restore(s Snapshot) {
 	n.rng.SetState(s.RNG)
 	for i, c := range s.Clients {
 		n.clients[i] = client{
-			state: clientState(c.State), conn: c.Conn, nextAt: c.NextAt,
+			state: clientState(c.State), kind: clientKind(c.Kind), conn: c.Conn, nextAt: c.NextAt,
 			got: c.Got, want: c.Want, reqsLeft: c.ReqsLeft, closing: c.Closing,
 			acks: c.Acks, retryAt: c.RetryAt, retries: c.Retries, timeout: c.Timeout,
+			sendLeft: c.SendLeft, sendAt: c.SendAt, startTick: c.StartTick,
 		}
 	}
 	n.ticks = s.Ticks
@@ -123,4 +132,5 @@ func (n *Network) Restore(s Snapshot) {
 	n.Retransmits = s.Retransmits
 	n.Aborted = s.Aborted
 	n.Resets = s.Resets
+	n.Latency = s.Latency
 }

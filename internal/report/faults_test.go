@@ -108,3 +108,25 @@ func TestSummaryRendersFaultLine(t *testing.T) {
 		t.Fatalf("fault line missing or wrong:\n%s", out)
 	}
 }
+
+func TestSummaryRendersOverloadLine(t *testing.T) {
+	var w Snapshot
+	w.Metrics.Cycles = 1000
+	if strings.Contains(Summary("t", w), "overload:") {
+		t.Fatal("overload line rendered with all counters zero")
+	}
+	w.ConnsRefused = 7
+	w.ReapedIdle = 2
+	w.ReapedSlowloris = 5
+	for i := 0; i < 100; i++ {
+		w.Latency.Observe(uint64(i % 12))
+	}
+	out := Summary("t", w)
+	if !strings.Contains(out, "overload:") ||
+		!strings.Contains(out, "refused 7") ||
+		!strings.Contains(out, "reaped idle 2") ||
+		!strings.Contains(out, "reaped slowloris 5") ||
+		!strings.Contains(out, "p99") {
+		t.Fatalf("overload line missing or wrong:\n%s", out)
+	}
+}

@@ -117,6 +117,15 @@ type Snapshot struct {
 	WorkerCrashes   uint64
 	WorkerRespawns  uint64
 
+	// Overload counters (all zero unless the accept backlog binds, the
+	// idle reaper runs, or the overload fault domain is on).
+	ConnsRefused    uint64
+	ReapedIdle      uint64
+	ReapedSlowloris uint64
+	// Latency is the end-to-end request latency histogram in network
+	// ticks (populated only under the overload fault domain).
+	Latency stats.Hist
+
 	// Sampling holds the sampled-run estimators (Enabled=false on full-detail
 	// runs; everything else zero then).
 	Sampling pipeline.SampleStats
@@ -168,9 +177,13 @@ func Take(sim *core.Simulator) Snapshot {
 		s.NetRetransmits = sim.Net.Retransmits
 		s.NetAborted = sim.Net.Aborted
 		s.NetResets = sim.Net.Resets
+		s.Latency = sim.Net.Latency
 	}
 	s.WorkerCrashes = k.WorkerCrashes
 	s.WorkerRespawns = k.WorkerRespawns
+	s.ConnsRefused = k.ConnsRefused
+	s.ReapedIdle = k.ReapedIdle
+	s.ReapedSlowloris = k.ReapedSlowloris
 	s.Sampling = e.SampleStats()
 	if sim.Faults != nil {
 		s.FramesDropped = sim.Faults.DroppedToServer + sim.Faults.DroppedToClient
@@ -248,6 +261,10 @@ func Delta(a, b Snapshot) Snapshot {
 	d.FramesDelayed = b.FramesDelayed - a.FramesDelayed
 	d.WorkerCrashes = b.WorkerCrashes - a.WorkerCrashes
 	d.WorkerRespawns = b.WorkerRespawns - a.WorkerRespawns
+	d.ConnsRefused = b.ConnsRefused - a.ConnsRefused
+	d.ReapedIdle = b.ReapedIdle - a.ReapedIdle
+	d.ReapedSlowloris = b.ReapedSlowloris - a.ReapedSlowloris
+	d.Latency = b.Latency.Sub(a.Latency)
 	d.Sampling = b.Sampling.Sub(a.Sampling)
 	return d
 }

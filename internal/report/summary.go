@@ -48,6 +48,11 @@ func Summary(title string, w Snapshot) string {
 			w.NetRetransmits, w.NetAborted, w.NetResets,
 			w.WorkerCrashes, w.WorkerRespawns)
 	}
+	if w.ConnsRefused+w.ReapedIdle+w.ReapedSlowloris+w.Latency.Count > 0 {
+		fmt.Fprintf(&b, "overload: refused %d  reaped idle %d  reaped slowloris %d  latency ticks p50 %d  p99 %d  p999 %d\n",
+			w.ConnsRefused, w.ReapedIdle, w.ReapedSlowloris,
+			w.Latency.Quantile(0.50), w.Latency.Quantile(0.99), w.Latency.Quantile(0.999))
+	}
 	if sp := w.Sampling; sp.Enabled {
 		detailPct := 0.0
 		if t := sp.FFCycles + sp.DetailCycles; t > 0 {

@@ -1,0 +1,52 @@
+package stats
+
+import "testing"
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.50); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %d, want 99", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Fatalf("p100 = %d, want 100", got)
+	}
+	if h.Count != 100 || h.Sum != 5050 {
+		t.Fatalf("count/sum = %d/%d", h.Count, h.Sum)
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistEmptyAndOverflow(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(HistBuckets + 10)
+	if h.Over != 1 || h.Count != 1 {
+		t.Fatalf("overflow not counted: %+v", h)
+	}
+	if got := h.Quantile(0.5); got != HistBuckets {
+		t.Fatalf("overflow quantile = %d, want saturated %d", got, HistBuckets)
+	}
+}
+
+func TestHistSub(t *testing.T) {
+	var a Hist
+	a.Observe(3)
+	a.Observe(7)
+	before := a
+	a.Observe(7)
+	a.Observe(HistBuckets * 2)
+	d := a.Sub(before)
+	if d.Count != 2 || d.Buckets[7] != 1 || d.Buckets[3] != 0 || d.Over != 1 {
+		t.Fatalf("window delta wrong: %+v", d)
+	}
+}

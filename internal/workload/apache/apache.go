@@ -333,12 +333,16 @@ func (s *Server) process(slot int) *workload.ScriptProgram {
 			ps.FD = result
 			lookupFile()
 		case req.Num == sys.SysRead && req.Resource == sys.ResNet:
-			if !s.cfg.KeepAlive {
+			if result == 0 {
+				// Peer closed (or the kernel's idle reaper tore the
+				// connection down): skip serving and close our side. On a
+				// perfect wire a request read never returns 0 — the
+				// client's request rides the SYN — so this path only runs
+				// under fault injection or keep-alive.
+				ps.St = stCloseConn
 				return
 			}
-			if result == 0 {
-				// Peer closed the kept-alive connection.
-				ps.St = stCloseConn
+			if !s.cfg.KeepAlive {
 				return
 			}
 			// A fresh request arrived on the open connection.
