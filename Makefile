@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race audit ckpt-smoke bench-smoke sample-smoke bench bench-diff run experiments
+.PHONY: check build vet lint test race audit ckpt-smoke exhaust-smoke bench-smoke sample-smoke bench bench-diff run experiments
 
 # check is the full verification gate: compile, vet, the determinism linter,
 # the whole test suite, a fast race pass (Quick-scale simulations skip under
 # -short, so the race leg stays cheap while still covering the worker pool
 # and fault-injection paths), an audited simulation leg, a checkpoint
-# save/restore round trip, a sampled-mode determinism smoke, and a
-# one-iteration benchmark smoke.
-check: build vet lint test race audit ckpt-smoke sample-smoke bench-smoke
+# save/restore round trip, a sampled-mode determinism smoke, a resource-
+# exhaustion smoke, and a one-iteration benchmark smoke.
+check: build vet lint test race audit ckpt-smoke sample-smoke exhaust-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,26 @@ sample-smoke:
 	cmp /tmp/ossmt-sample-a.txt /tmp/ossmt-sample-b.txt
 	rm -f /tmp/ossmt-sample-a.txt /tmp/ossmt-sample-b.txt
 	$(GO) test -run 'TestSamplingAblationWithinBand' ./internal/experiments
+
+# exhaust-smoke proves graceful degradation under resource exhaustion end to
+# end through the CLI: a run with a mid-run memory and pool squeeze must
+# finish (no watchdog trip), pass the invariant auditor (including the
+# resource-accounting check), and reproduce byte-identically (see FAULTS.md,
+# "Exhaustion").
+exhaust-smoke:
+	$(GO) run ./cmd/ossmt -workload apache -warmup 200000 -cycles 400000 \
+		-interval 40000 -clients 96 -idle-timeout 4 \
+		-mem-frames 1600 -sock-table 48 -mbuf-pool 24 -fd-limit 2 \
+		-mem-squeeze 0.55 -pool-squeeze 0.5 -squeeze-tick 2 \
+		-audit 100000 > /tmp/ossmt-exhaust-a.txt
+	$(GO) run ./cmd/ossmt -workload apache -warmup 200000 -cycles 400000 \
+		-interval 40000 -clients 96 -idle-timeout 4 \
+		-mem-frames 1600 -sock-table 48 -mbuf-pool 24 -fd-limit 2 \
+		-mem-squeeze 0.55 -pool-squeeze 0.5 -squeeze-tick 2 \
+		-audit 100000 > /tmp/ossmt-exhaust-b.txt
+	cmp /tmp/ossmt-exhaust-a.txt /tmp/ossmt-exhaust-b.txt
+	grep -q 'resources:' /tmp/ossmt-exhaust-a.txt
+	rm -f /tmp/ossmt-exhaust-a.txt /tmp/ossmt-exhaust-b.txt
 
 # bench-smoke runs every benchmark exactly once — it exists to catch
 # crashes in bench-only code paths, not to measure anything.

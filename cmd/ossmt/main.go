@@ -74,6 +74,17 @@ func run() int {
 		burstEvery  = flag.Int("burst-every", 0, "activate a flash-crowd burst every N ticks (0 = off)")
 		burstSize   = flag.Int("burst-size", 0, "clients per flash-crowd burst (0 = default)")
 
+		// Resource exhaustion (see FAULTS.md, "Exhaustion").
+		memFrames     = flag.Uint64("mem-frames", 0, "cap the frame allocator at N frames (0 = all of physical memory)")
+		sockTable     = flag.Int("sock-table", 0, "socket-table size (0 = default 4096)")
+		mbufPool      = flag.Int("mbuf-pool", 0, "mbuf-pool frames (0 = default 8192)")
+		procTable     = flag.Int("proc-table", 0, "process-table slots (0 = default 256)")
+		fdLimit       = flag.Int("fd-limit", 0, "per-process descriptor limit (0 = default 64)")
+		memSqueeze    = flag.Float64("mem-squeeze", 0, "mid-run squeeze: shrink effective memory by this fraction [0,1)")
+		poolSqueeze   = flag.Float64("pool-squeeze", 0, "mid-run squeeze: shrink effective pool capacities by this fraction [0,1)")
+		squeezeTick   = flag.Int("squeeze-tick", 0, "10ms tick at which the squeeze lands (0 = default 50)")
+		squeezeJitter = flag.Int("squeeze-jitter", 0, "max extra ticks of seeded jitter on the squeeze time (0 = none)")
+
 		// Checkpoint/restore and auditing (see CHECKPOINT.md).
 		ckptPath  = flag.String("checkpoint", "", "write a checkpoint here when the run finishes")
 		restore   = flag.String("restore", "", "resume from this checkpoint instead of a fresh boot")
@@ -126,20 +137,29 @@ func run() int {
 		RoundRobinFetch:  *rrFetch,
 		AcceptBacklog:    *backlog,
 		IdleTimeoutTicks: *idleTimeout,
+		MemFrameLimit:    *memFrames,
+		SocketTable:      *sockTable,
+		MbufPool:         *mbufPool,
+		ProcTable:        *procTable,
+		FDLimit:          *fdLimit,
 		Faults: faults.Config{
-			Seed:            *faultSeed,
-			LossRate:        *loss,
-			CorruptRate:     *corrupt,
-			DelayRate:       *delayRate,
-			MaxDelayTicks:   *maxDelay,
-			CrashRate:       *crashRate,
-			LivelockWindow:  *watchdog,
-			SlowClientRate:  *slowRate,
-			TrickleTicks:    *trickle,
-			StormClientRate: *stormRate,
-			StormHoldTicks:  *stormHold,
-			BurstEvery:      *burstEvery,
-			BurstSize:       *burstSize,
+			Seed:               *faultSeed,
+			LossRate:           *loss,
+			CorruptRate:        *corrupt,
+			DelayRate:          *delayRate,
+			MaxDelayTicks:      *maxDelay,
+			CrashRate:          *crashRate,
+			LivelockWindow:     *watchdog,
+			SlowClientRate:     *slowRate,
+			TrickleTicks:       *trickle,
+			StormClientRate:    *stormRate,
+			StormHoldTicks:     *stormHold,
+			BurstEvery:         *burstEvery,
+			BurstSize:          *burstSize,
+			MemSqueezeFrac:     *memSqueeze,
+			PoolSqueezeFrac:    *poolSqueeze,
+			SqueezeAtTick:      *squeezeTick,
+			SqueezeJitterTicks: *squeezeJitter,
 		},
 	}
 	if *sample {

@@ -71,6 +71,7 @@ func Checks() []Check {
 		{Name: "tlb-consistency", Run: checkTLBConsistency},
 		{Name: "socket-ownership", Run: checkSocketOwnership},
 		{Name: "backlog-timers", Run: checkBacklogTimers},
+		{Name: "resource-accounting", Run: checkResourceAccounting},
 		{Name: "pipeline-queues", Run: checkPipelineQueues},
 	}
 }
@@ -304,6 +305,128 @@ func checkBacklogTimers(t Target) []Finding {
 					Detail: fmt.Sprintf("listen socket %d queues socket %d already owned by thread %d", s.ID, id, q.Owner),
 				})
 			}
+		}
+	}
+	return out
+}
+
+// checkResourceAccounting verifies the finite-pool bookkeeping end to end:
+// socket table in-use + freelist == table size (with a well-formed freelist),
+// per-process RSS matches the page tables and sums to the frames in use,
+// per-thread descriptor counts match the sockets they own (no FD leak after
+// teardown), and the process table's slots, freelist, and live count agree
+// with the thread inventory.
+func checkResourceAccounting(t Target) []Finding {
+	var out []Finding
+	k := t.Kernel
+	bad := func(format string, args ...any) {
+		out = append(out, Finding{Check: "resource-accounting", Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// --- socket table ---
+	socks := k.SocketInfos()
+	sockStatic, _, _, procStatic := k.PoolSizes()
+	if len(socks) > sockStatic {
+		bad("socket table holds %d entries, over the configured size %d", len(socks), sockStatic)
+	}
+	freeIDs := k.SockFreeIDs()
+	onFree := map[int]bool{}
+	for _, id := range freeIDs {
+		if onFree[id] {
+			bad("socket %d appears twice on the socket freelist", id)
+		}
+		onFree[id] = true
+		switch {
+		case id < 0 || id >= len(socks):
+			bad("socket freelist references out-of-range id %d (table size %d)", id, len(socks))
+		case !socks[id].Free:
+			bad("socket %d is on the freelist but not marked free", id)
+		}
+	}
+	liveSocks := 0
+	ownedBy := map[uint32]int{}
+	for _, s := range socks {
+		if s.Free {
+			if !onFree[s.ID] {
+				bad("socket %d is marked free but missing from the freelist", s.ID)
+			}
+			continue
+		}
+		liveSocks++
+		if !s.Listen && s.Owner != 0 {
+			ownedBy[s.Owner]++
+		}
+	}
+	if liveSocks+len(freeIDs) != len(socks) {
+		bad("socket accounting drift: %d in use + %d free != %d table entries", liveSocks, len(freeIDs), len(socks))
+	}
+
+	// --- memory: RSS vs page tables ---
+	m := k.Mem
+	perPID := map[uint64]uint64{}
+	for _, pte := range m.AllMappings() {
+		perPID[pte.PID]++
+	}
+	var rssSum uint64
+	rssPIDs := map[uint64]bool{}
+	for _, e := range m.RSSEntries() {
+		rssPIDs[e.PID] = true
+		rssSum += e.Pages
+		if perPID[e.PID] != e.Pages {
+			bad("pid %d RSS %d disagrees with its %d mapped page(s)", e.PID, e.Pages, perPID[e.PID])
+		}
+	}
+	for pid, n := range perPID {
+		if !rssPIDs[pid] && n > 0 {
+			bad("pid %d maps %d page(s) but has no RSS entry", pid, n)
+		}
+	}
+	if inUse := m.FramesInUse(); rssSum != inUse {
+		bad("RSS total %d != frames in use %d (free %d, reclaim-staged %d)",
+			rssSum, inUse, len(m.FreeFrames()), len(m.DirtyFrames()))
+	}
+
+	// --- per-thread descriptor accounting & process table ---
+	slots, freeSlots := k.ProcTable()
+	inSlot := map[uint32]int{}
+	usedSlots := 0
+	for i, tid := range slots {
+		if tid == 0 {
+			continue
+		}
+		usedSlots++
+		if prev, dup := inSlot[tid]; dup {
+			bad("thread %d occupies process-table slots %d and %d", tid, prev, i)
+		}
+		inSlot[tid] = i
+	}
+	if usedSlots+freeSlots != len(slots) {
+		bad("process-table drift: %d used + %d free != %d slots", usedSlots, freeSlots, len(slots))
+	}
+	if live := k.LiveUserProcs(); live != usedSlots {
+		bad("live-process count %d disagrees with %d occupied slot(s)", live, usedSlots)
+	}
+	if len(slots) != procStatic {
+		bad("process table holds %d slots, configured size is %d", len(slots), procStatic)
+	}
+	for _, ti := range k.ThreadInfos() {
+		if ti.Kind != "user" {
+			continue
+		}
+		torn := ti.Exited && ti.Released
+		switch {
+		case torn && ti.Slot >= 0:
+			bad("released thread %d still holds process-table slot %d", ti.TID, ti.Slot)
+		case !torn && ti.Slot < 0:
+			bad("live user thread %d has no process-table slot", ti.TID)
+		case !torn && (ti.Slot >= len(slots) || slots[ti.Slot] != ti.TID):
+			bad("thread %d claims slot %d but the table disagrees", ti.TID, ti.Slot)
+		}
+		if torn && (ti.FDs != 0 || ownedBy[ti.TID] != 0) {
+			bad("released thread %d leaks descriptors: fds=%d, owned sockets=%d", ti.TID, ti.FDs, ownedBy[ti.TID])
+		}
+		if !torn && ti.FDs != ownedBy[ti.TID] {
+			bad("thread %d descriptor count %d != %d owned socket(s)", ti.TID, ti.FDs, ownedBy[ti.TID])
 		}
 	}
 	return out

@@ -167,6 +167,59 @@ func TestCheckpointGoldenMidOverload(t *testing.T) {
 	goldenCase(t, "apache", o, n, m)
 }
 
+// TestCheckpointGoldenMidExhaustion: the golden guarantee while the kernel is
+// actively short on everything — checkpoint taken with the page reclaimer
+// running (staged evictions, second-chance bits, per-process RSS under a
+// squeezed frame limit) and finite pools rejecting work, then restored and
+// run on. A probe twin first proves the checkpoint cycle really lands
+// mid-exhaustion and the resource-accounting audit passes on that state.
+func TestCheckpointGoldenMidExhaustion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-kilocycle simulation")
+	}
+	o := core.Options{
+		Processor:         core.SMT,
+		Seed:              17,
+		CyclesPer10ms:     40_000,
+		Clients:           96,
+		ServerProcesses:   16,
+		KeepAliveRequests: 4,
+		IdleTimeoutTicks:  3,
+		MemFrameLimit:     1600,
+		SocketTable:       24,
+		MbufPool:          16,
+		FDLimit:           2,
+		Faults: faults.Config{
+			MemSqueezeFrac:  0.25,
+			PoolSqueezeFrac: 0.25,
+			SqueezeAtTick:   1,
+		},
+	}
+	const n, m = 900_000, 600_000
+
+	probe, err := core.New("apache", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Run(n)
+	w := report.Take(probe)
+	if w.MemReclaims == 0 {
+		t.Fatalf("checkpoint cycle not mid-exhaustion: reclaimer never ran (frames peak %d, limit %d)",
+			w.FramesHighwater, w.MemFrameLimit)
+	}
+	if w.SockPoolRejects+w.MbufDrops+w.FDRejects+w.ForkRejects == 0 {
+		t.Fatal("checkpoint cycle not mid-exhaustion: no pool ever rejected work")
+	}
+	if w.Squeezes != 1 {
+		t.Fatalf("exhaustion squeeze fired %d time(s), want exactly 1", w.Squeezes)
+	}
+	if err := probe.Audit(); err != nil {
+		t.Fatalf("audit of mid-exhaustion state failed: %v", err)
+	}
+
+	goldenCase(t, "apache", o, n, m)
+}
+
 func TestCheckpointRejectsWorkloadMismatch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-hundred-kilocycle simulation")

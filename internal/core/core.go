@@ -93,6 +93,17 @@ type Options struct {
 	// connections idle for that many 10 ms network ticks (stalled
 	// slowloris requests and idle keep-alive connections alike).
 	IdleTimeoutTicks int
+	// Finite kernel resource pools (0 = kernel defaults): socket-table
+	// entries, mbuf-pool frames, process-table slots, and the per-process
+	// descriptor limit. Exhaustion surfaces as structured syscall errors
+	// and driver drops, never as a wedge.
+	SocketTable int
+	MbufPool    int
+	ProcTable   int
+	FDLimit     int
+	// MemFrameLimit, when > 0, caps the frame allocator below physical
+	// memory, forcing page reclaim at the low watermark.
+	MemFrameLimit uint64
 	// SeedPartitions is the number of derived RNG seed partitions carved
 	// out of Seed, one per subsystem stream (kernel, SPECInt, network,
 	// Apache, faults, sampling), spaced seedStride apart so the streams
@@ -191,6 +202,13 @@ func (o Options) Validate() error {
 	if o.IdleTimeoutTicks < 0 {
 		return fmt.Errorf("core: negative IdleTimeoutTicks %d", o.IdleTimeoutTicks)
 	}
+	if o.SocketTable < 0 || o.MbufPool < 0 || o.ProcTable < 0 || o.FDLimit < 0 {
+		return fmt.Errorf("core: negative resource pool size (sockets %d, mbufs %d, procs %d, fds %d)",
+			o.SocketTable, o.MbufPool, o.ProcTable, o.FDLimit)
+	}
+	if o.ProcTable > 0 && o.ServerProcesses > o.ProcTable {
+		return fmt.Errorf("core: ServerProcesses %d exceeds ProcTable %d", o.ServerProcesses, o.ProcTable)
+	}
 	if o.BufferCacheHitRate < 0 || o.BufferCacheHitRate > 1 {
 		return fmt.Errorf("core: BufferCacheHitRate %v outside [0,1]", o.BufferCacheHitRate)
 	}
@@ -271,6 +289,19 @@ func kernelConfig(o Options, contexts int) kernel.Config {
 	}
 	kcfg.AcceptBacklog = o.AcceptBacklog
 	kcfg.IdleTimeoutTicks = uint64(o.IdleTimeoutTicks)
+	if o.SocketTable > 0 {
+		kcfg.SocketTableSize = o.SocketTable
+	}
+	if o.MbufPool > 0 {
+		kcfg.MbufPoolSize = o.MbufPool
+	}
+	if o.ProcTable > 0 {
+		kcfg.ProcTableSize = o.ProcTable
+	}
+	if o.FDLimit > 0 {
+		kcfg.FDLimit = o.FDLimit
+	}
+	kcfg.MemFrameLimit = o.MemFrameLimit
 	return kcfg
 }
 

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/report"
+)
+
+func init() {
+	register("ablation-exhaustion", "Ablation: kernel resource exhaustion (frame limit + finite pools) vs throughput", ablationExhaustion)
+}
+
+// Offered load held constant across the exhaustion sweep: the same capacity
+// points as the overload ablation, so the only variable is how much memory
+// and pool headroom the kernel has.
+const (
+	baseExhaustClientsSMT = 32
+	baseExhaustClientsSS  = 8
+)
+
+// ablationExhaustion measures graceful degradation under kernel resource
+// exhaustion. Per processor it first runs unconstrained to measure demand —
+// peak frames in use, peak sockets, peak mbuf occupancy — then replays the
+// identical workload with physical memory and every kernel pool capped at a
+// sweep of multiples of that demand, from 2x headroom down to 0.5x. The
+// caps land mid-run through the exhaustion fault domain (static sizes are
+// 2x demand; a squeeze to fraction 1-f/2 leaves exactly f times demand),
+// which also arms the clients' retransmit recovery. The shape under test:
+// throughput holds near baseline while headroom exists, degrades gradually
+// as the caps bite — reclaim scans, ENOBUFS SYN drops, EMFILE accept
+// rejects — and never collapses or wedges (zero watchdog trips).
+func ablationExhaustion(ev *env, sc Scale, seed uint64) Result {
+	t := report.NewTable("proc", "headroom", "done", "reclaims", "scans",
+		"sock-rej", "mbuf-drop", "fd-rej", "retrans")
+	vals := map[string]float64{}
+	trips := 0
+	for _, p := range []core.ProcessorKind{core.SMT, core.Superscalar} {
+		tag := "smt"
+		scP := sc
+		tickScale := 1
+		clients := baseExhaustClientsSMT
+		if p == core.Superscalar {
+			tag = "ss"
+			clients = baseExhaustClientsSS
+			// The one-context baseline serves requests a few times slower
+			// (the paper's central result); stretch its windows so every
+			// row completes enough work to compare against.
+			tickScale = 4
+			scP.Warmup *= 4
+			scP.Measure *= 4
+		}
+		opts := func() core.Options {
+			return core.Options{
+				Processor:         p,
+				Clients:           clients,
+				KeepAliveRequests: 4,
+				IdleTimeoutTicks:  4 * tickScale,
+			}
+		}
+
+		// Unconstrained baseline: throughput and peak resource demand.
+		sim := apacheSim(scP, seed, opts())
+		w0, err := ev.checkedWindow(sim, scP)
+		if err != nil {
+			trips++
+			t.Row(tag, "base", "trip", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		frameDemand := w0.FramesHighwater
+		sockDemand := w0.SockHighwater
+		mbufDemand := w0.MbufHighwater
+		if sockDemand < 4 {
+			sockDemand = 4
+		}
+		if mbufDemand < 8 {
+			mbufDemand = 8
+		}
+		base := float64(w0.NetCompleted)
+		vals[tag+"Base"] = base
+		vals[tag+"FrameDemand"] = float64(frameDemand)
+		t.Row(tag, "base", report.I(w0.NetCompleted), report.I(w0.MemReclaims),
+			report.I(w0.MemReclaimScans), report.I(w0.SockPoolRejects),
+			report.I(w0.MbufDrops), report.I(w0.FDRejects), report.I(w0.NetRetransmits))
+
+		for _, h := range []struct {
+			label  string
+			key    string
+			factor float64
+		}{
+			{"2x", "200", 2}, {"1.5x", "150", 1.5}, {"1x", "100", 1},
+			{"0.75x", "075", 0.75}, {"0.5x", "050", 0.5},
+		} {
+			// Static capacities are 2x measured demand; the squeeze takes
+			// them to factor x demand on the first network tick, so the
+			// whole measured window runs under the cap.
+			o := opts()
+			o.MemFrameLimit = 2 * frameDemand
+			o.SocketTable = 2 * sockDemand
+			o.MbufPool = 2 * mbufDemand
+			o.FDLimit = 4
+			if frac := 1 - h.factor/2; frac > 0 {
+				o.Faults = faults.Config{
+					MemSqueezeFrac:  frac,
+					PoolSqueezeFrac: frac,
+					SqueezeAtTick:   1,
+				}
+			}
+			sim := apacheSim(scP, seed, o)
+			w, err := ev.checkedWindow(sim, scP)
+			if err != nil {
+				trips++
+				t.Row(tag, h.label, "trip", "-", "-", "-", "-", "-", "-")
+				continue
+			}
+			vals[tag+"Done"+h.key] = float64(w.NetCompleted)
+			vals[tag+"Reclaims"+h.key] = float64(w.MemReclaims)
+			vals[tag+"Rejects"+h.key] = float64(w.SockPoolRejects + w.MbufDrops + w.FDRejects + w.ForkRejects)
+			t.Row(tag, h.label, report.I(w.NetCompleted), report.I(w.MemReclaims),
+				report.I(w.MemReclaimScans), report.I(w.SockPoolRejects),
+				report.I(w.MbufDrops), report.I(w.FDRejects), report.I(w.NetRetransmits))
+		}
+	}
+	vals["watchdogTrips"] = float64(trips)
+	text := t.String() + fmt.Sprintf("\nEvery kernel resource is finite: physical frames (reclaimed FIFO with a\n"+
+		"second chance below the low watermark), the socket and process tables,\n"+
+		"the mbuf pool, and per-process descriptors. As headroom shrinks from 2x\n"+
+		"demand to 0.5x, the kernel sheds work through structured errors —\n"+
+		"ENOBUFS SYN drops, EMFILE accept rejects, EAGAIN forks — that clients\n"+
+		"recover from by retransmit and backoff, so completed throughput degrades\n"+
+		"gradually instead of collapsing (watchdog trips: %d).\n", trips)
+	return Result{Text: text, Values: vals}
+}

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-interrupt", "ablation-procs", "ablation-dma",
 		"ablation-affinity", "ablation-keepalive", "ablation-diskbound",
 		"ablation-loss", "ablation-crash", "ablation-sampling",
-		"ablation-overload",
+		"ablation-overload", "ablation-exhaustion",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -221,5 +221,45 @@ func TestOverloadAblationShape(t *testing.T) {
 	}
 	if res.Text != rerun.Text {
 		t.Fatal("overload ablation nondeterministic across identical runs")
+	}
+}
+
+// TestExhaustionAblationShape asserts graceful degradation under resource
+// exhaustion at Quick scale: capping memory at 0.75x of measured demand must
+// keep completed throughput at >= 50% of the unconstrained baseline on both
+// processors, the capped rows must actually exercise the exhaustion
+// machinery (reclaims or structured rejects), the watchdog must never trip,
+// and identical seeds must reproduce the table byte-for-byte.
+func TestExhaustionAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("a dozen supervised simulations at Quick scale")
+	}
+	res, err := Run("ablation-exhaustion", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values
+	if v["watchdogTrips"] != 0 {
+		t.Fatalf("watchdog tripped %v time(s) during the sweep:\n%s", v["watchdogTrips"], res.Text)
+	}
+	for _, tag := range []string{"smt", "ss"} {
+		base := v[tag+"Base"]
+		if base <= 0 {
+			t.Fatalf("%s: unconstrained baseline completed nothing:\n%s", tag, res.Text)
+		}
+		if done := v[tag+"Done075"]; done < 0.5*base {
+			t.Fatalf("%s: throughput collapsed at 0.75x demand: %.0f < 50%% of baseline %.0f\n%s",
+				tag, done, base, res.Text)
+		}
+		if v[tag+"Reclaims050"]+v[tag+"Rejects050"] == 0 {
+			t.Fatalf("%s: 0.5x-demand row never exercised reclaim or admission control:\n%s", tag, res.Text)
+		}
+	}
+	rerun, err := Run("ablation-exhaustion", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != rerun.Text {
+		t.Fatal("exhaustion ablation nondeterministic across identical runs")
 	}
 }

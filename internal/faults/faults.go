@@ -56,6 +56,9 @@ const (
 	// DefaultBurstSize is how many dormant flash-crowd clients activate per
 	// burst.
 	DefaultBurstSize = 32
+	// DefaultSqueezeAtTick is the network tick at which an enabled
+	// exhaustion squeeze takes effect when SqueezeAtTick is 0.
+	DefaultSqueezeAtTick = 50
 )
 
 // Config parameterizes fault injection. The zero value disables every
@@ -120,6 +123,24 @@ type Config struct {
 	// BurstSize is the number of clients per flash-crowd burst
 	// (0 = DefaultBurstSize).
 	BurstSize int
+
+	// MemSqueezeFrac, when > 0, is the fraction of effective physical
+	// memory the exhaustion domain removes mid-run: the kernel caps the
+	// frame allocator at (1-frac) of its pre-squeeze effective size,
+	// forcing the low-watermark reclaimer to page under pressure.
+	MemSqueezeFrac float64
+	// PoolSqueezeFrac, when > 0, shrinks the kernel's bounded resource
+	// pools (socket table, mbuf pool, process table, per-process FD limit)
+	// to (1-frac) of their configured capacities mid-run; exhaustion then
+	// surfaces as structured syscall errors and refused SYNs that clients
+	// recover from via retransmit/backoff.
+	PoolSqueezeFrac float64
+	// SqueezeAtTick is the network tick at which the squeeze lands
+	// (0 = DefaultSqueezeAtTick when a squeeze fraction is set).
+	SqueezeAtTick int
+	// SqueezeJitterTicks adds a seeded uniform 0..N jitter to the squeeze
+	// tick, so sweeps can decorrelate the squeeze from workload phases.
+	SqueezeJitterTicks int
 }
 
 // Enabled reports whether any fault domain injects (the client retry
@@ -127,7 +148,15 @@ type Config struct {
 // without network faults).
 func (c Config) Enabled() bool {
 	return c.LossRate > 0 || c.CorruptRate > 0 || c.DelayRate > 0 || c.CrashRate > 0 ||
-		c.OverloadEnabled()
+		c.OverloadEnabled() || c.ExhaustEnabled()
+}
+
+// ExhaustEnabled reports whether the exhaustion domain squeezes anything.
+// Exhaustion counts as a fault domain for Enabled so that clients arm their
+// retry machinery — a SYN dropped by a full socket table or mbuf pool is
+// recovered through the ordinary retransmit path.
+func (c Config) ExhaustEnabled() bool {
+	return c.MemSqueezeFrac > 0 || c.PoolSqueezeFrac > 0
 }
 
 // OverloadEnabled reports whether any overload client behavior is
@@ -170,6 +199,21 @@ func (c Config) Validate() error {
 		return fmt.Errorf("faults: negative burst parameter (every %d, size %d)",
 			c.BurstEvery, c.BurstSize)
 	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"MemSqueezeFrac", c.MemSqueezeFrac},
+		{"PoolSqueezeFrac", c.PoolSqueezeFrac},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("faults: %s %v outside [0,1)", p.name, p.v)
+		}
+	}
+	if c.SqueezeAtTick < 0 || c.SqueezeJitterTicks < 0 {
+		return fmt.Errorf("faults: negative squeeze parameter (at %d, jitter %d)",
+			c.SqueezeAtTick, c.SqueezeJitterTicks)
+	}
 	return nil
 }
 
@@ -196,6 +240,9 @@ func (c Config) withDefaults() Config {
 	if c.BurstSize == 0 {
 		c.BurstSize = DefaultBurstSize
 	}
+	if c.SqueezeAtTick == 0 {
+		c.SqueezeAtTick = DefaultSqueezeAtTick
+	}
 	return c
 }
 
@@ -208,6 +255,12 @@ type Injector struct {
 	netRng  *rng.Rand
 	procRng *rng.Rand
 	ovlRng  *rng.Rand
+	exhRng  *rng.Rand
+
+	// squeezeTick is the armed exhaustion-squeeze tick (jitter applied
+	// once, so replays and restores see the same schedule).
+	squeezeTick  uint64
+	squeezeArmed bool
 
 	// DroppedToServer / DroppedToClient count frames the wire lost, by
 	// direction; Corrupted counts frames delivered damaged; Delayed counts
@@ -218,6 +271,8 @@ type Injector struct {
 	Delayed         uint64
 	// Crashes counts injected worker deaths.
 	Crashes uint64
+	// Squeezes counts exhaustion squeezes applied by the kernel.
+	Squeezes uint64
 }
 
 // NewInjector builds an injector. Call only with a validated config; the
@@ -229,7 +284,26 @@ func NewInjector(cfg Config) *Injector {
 		netRng:  rng.New(cfg.Seed ^ 0x6e657466_61756c74), // "netfault"
 		procRng: rng.New(cfg.Seed ^ 0x70726f63_66617574), // "procfaut"
 		ovlRng:  rng.New(cfg.Seed ^ 0x6f766572_6c6f6164), // "overload"
+		exhRng:  rng.New(cfg.Seed ^ 0x65786861_75737421), // "exhaust!"
 	}
+}
+
+// SqueezeTick returns the network tick at which the exhaustion squeeze takes
+// effect, arming it (applying the seeded jitter once) on first call. ok is
+// false when the exhaustion domain is disabled.
+func (i *Injector) SqueezeTick() (tick uint64, ok bool) {
+	if !i.Cfg.ExhaustEnabled() {
+		return 0, false
+	}
+	if !i.squeezeArmed {
+		t := uint64(i.Cfg.SqueezeAtTick)
+		if i.Cfg.SqueezeJitterTicks > 0 {
+			t += uint64(i.exhRng.Intn(i.Cfg.SqueezeJitterTicks + 1))
+		}
+		i.squeezeTick = t
+		i.squeezeArmed = true
+	}
+	return i.squeezeTick, true
 }
 
 // DropFrame decides whether the wire loses a frame.

@@ -7,11 +7,15 @@ type Snapshot struct {
 	NetRNG          [4]uint64
 	ProcRNG         [4]uint64
 	OvlRNG          [4]uint64
+	ExhRNG          [4]uint64
+	SqueezeTick     uint64
+	SqueezeArmed    bool
 	DroppedToServer uint64
 	DroppedToClient uint64
 	Corrupted       uint64
 	Delayed         uint64
 	Crashes         uint64
+	Squeezes        uint64
 }
 
 // Snapshot returns the injector's mutable state.
@@ -20,11 +24,15 @@ func (i *Injector) Snapshot() Snapshot {
 		NetRNG:          i.netRng.State(),
 		ProcRNG:         i.procRng.State(),
 		OvlRNG:          i.ovlRng.State(),
+		ExhRNG:          i.exhRng.State(),
+		SqueezeTick:     i.squeezeTick,
+		SqueezeArmed:    i.squeezeArmed,
 		DroppedToServer: i.DroppedToServer,
 		DroppedToClient: i.DroppedToClient,
 		Corrupted:       i.Corrupted,
 		Delayed:         i.Delayed,
 		Crashes:         i.Crashes,
+		Squeezes:        i.Squeezes,
 	}
 }
 
@@ -33,9 +41,13 @@ func (i *Injector) Restore(s Snapshot) {
 	i.netRng.SetState(s.NetRNG)
 	i.procRng.SetState(s.ProcRNG)
 	i.ovlRng.SetState(s.OvlRNG)
+	i.exhRng.SetState(s.ExhRNG)
+	i.squeezeTick = s.SqueezeTick
+	i.squeezeArmed = s.SqueezeArmed
 	i.DroppedToServer = s.DroppedToServer
 	i.DroppedToClient = s.DroppedToClient
 	i.Corrupted = s.Corrupted
 	i.Delayed = s.Delayed
 	i.Crashes = s.Crashes
+	i.Squeezes = s.Squeezes
 }

@@ -136,11 +136,14 @@ func TestCrashReleasesHeldLocksAndSockets(t *testing.T) {
 		t.Fatal("crashed worker still holds a lock")
 	}
 	s := k.net.socks[1]
-	if !s.closed {
-		t.Fatal("owned socket not reaped")
+	if !s.free {
+		t.Fatal("owned socket not reaped and recycled")
 	}
 	if _, known := k.net.byConn[42]; known {
 		t.Fatal("reaped connection still demuxable")
+	}
+	if len(k.net.sockFree) != 1 || k.net.sockFree[0] != 1 {
+		t.Fatalf("reaped socket slot not on the free list: %v", k.net.sockFree)
 	}
 	if len(nic.sent) != 1 || !nic.sent[0].Close || nic.sent[0].Conn != 42 {
 		t.Fatalf("no reset sent to the client: %+v", nic.sent)

@@ -182,13 +182,33 @@ func (k *Kernel) Cycle(now uint64) []int {
 	}
 	k.lastTick = now
 	frames := k.net.tick(now)
+	if k.faults != nil && !k.squeezed {
+		// The exhaustion fault domain lands once, at its scheduled tick.
+		if tick, ok := k.faults.SqueezeTick(); ok && k.net.ticks >= tick {
+			k.applySqueeze(k.faults.Cfg.MemSqueezeFrac, k.faults.Cfg.PoolSqueezeFrac)
+		}
+	}
 	if k.cfg.IdleTimeoutTicks > 0 {
 		k.reapIdle()
 	}
+	// hasNet reflects NIC arrivals: the device interrupts even if the mbuf
+	// pool then forces some frames to be dropped at the driver.
 	hasNet := len(frames) > 0
 	if hasNet {
+		if room := k.mbufCapEff - len(k.net.pending); len(frames) > room {
+			if room < 0 {
+				room = 0
+			}
+			drop := uint64(len(frames) - room)
+			k.MbufDrops += drop
+			k.net.Dropped += drop
+			frames = frames[:room]
+		}
 		k.net.pending = append(k.net.pending, frames...)
-		if k.cfg.ModelNetworkDMA && k.hierDMA != nil {
+		if len(k.net.pending) > k.MbufHighwater {
+			k.MbufHighwater = len(k.net.pending)
+		}
+		if k.cfg.ModelNetworkDMA && k.hierDMA != nil && len(frames) > 0 {
 			k.hierDMA.DMA(len(frames), now)
 		}
 	}
@@ -197,6 +217,10 @@ func (k *Kernel) Cycle(now uint64) []int {
 		if hasNet {
 			k.deliverFrames(k.net.pending)
 			k.net.pending = k.net.pending[:0]
+		}
+		for k.pendingRespawns > 0 && k.canFork() {
+			k.pendingRespawns--
+			k.doRespawn(0)
 		}
 		return k.interrupt
 	}
@@ -214,6 +238,12 @@ func (k *Kernel) Cycle(now uint64) []int {
 	ctx := k.rrIntCtx
 	k.rrIntCtx = (k.rrIntCtx + 1) % k.cfg.Contexts
 	k.feeds[ctx].intrNet = hasNet
+	// Deferred re-forks: the master retries EAGAIN'd respawns at clock
+	// granularity, once table slots free up.
+	for k.pendingRespawns > 0 && k.canFork() {
+		k.pendingRespawns--
+		k.doRespawn(ctx)
+	}
 	k.interrupt = append(k.interrupt, ctx)
 	return k.interrupt
 }
@@ -234,6 +264,7 @@ func (k *Kernel) Translate(in *pipeline.FedInst, vaddr uint64) uint64 {
 		pid = mem.KernelPID
 	}
 	paddr, _ := k.Mem.Touch(pid, vaddr)
+	k.flushEvictions()
 	return paddr
 }
 
@@ -266,6 +297,7 @@ func (k *Kernel) dtlbHandler(ctx int, in *pipeline.FedInst, vaddr uint64) []pipe
 		asn = tlb.GlobalASN
 	}
 	paddr, kind := k.Mem.Touch(pid, vaddr)
+	k.flushEvictions()
 	if int(kind) < len(k.VMFaults) {
 		k.VMFaults[kind]++
 	}
@@ -279,14 +311,10 @@ func (k *Kernel) dtlbHandler(ctx int, in *pipeline.FedInst, vaddr uint64) []pipe
 		tmplVM := tmplPAL
 		n := vmFaultLen
 		if kind == mem.FaultReclaim {
+			// A reclaimed frame is remapped; the victim's shootdown and
+			// cache flushes were issued by flushEvictions above, and the
+			// longer VM path below charges the OS reclaim work.
 			n = vmReclaimLen
-			// A reclaimed frame is remapped: the OS issues the
-			// architectural cache flushes for its old contents (§2.2.2) —
-			// the dominant source of kernel-induced I-cache misses in the
-			// paper.
-			base := paddr &^ uint64(mem.PageMask)
-			k.hier.FlushIRange(base, mem.PageSize)
-			k.hier.FlushDRange(base, mem.PageSize)
 		}
 		out = k.drainRegion(out, k.code.vm, ctx, n, tmplVM, isa.Kernel)
 	}
@@ -304,6 +332,7 @@ func (k *Kernel) itlbHandler(ctx int, in *pipeline.FedInst, vaddr uint64) []pipe
 		asn = tlb.GlobalASN
 	}
 	paddr, kind := k.Mem.Touch(pid, vaddr)
+	k.flushEvictions()
 	if int(kind) < len(k.VMFaults) {
 		k.VMFaults[kind]++
 	}
@@ -757,11 +786,24 @@ func (k *Kernel) crashWorker(ctx int, t *Thread) {
 
 // respawnWorker is the master's reaction to a worker death: fork a
 // replacement process into the pool (fresh pid and ASN — exercising ASN
-// recycling once the space wraps — and a cold address space).
+// recycling once the space wraps — and a cold address space). At a full
+// process table the fork fails with EAGAIN and is queued for retry at the
+// next clock tick (admission control, not a wedge).
 func (k *Kernel) respawnWorker(ctx int) {
 	if k.respawn == nil {
 		return
 	}
+	if !k.canFork() {
+		k.ForkRejects++
+		k.pendingRespawns++
+		return
+	}
+	k.doRespawn(ctx)
+}
+
+// doRespawn performs the admitted re-fork: builds the replacement program,
+// registers the worker, and charges the fork service code to ctx.
+func (k *Kernel) doRespawn(ctx int) {
 	prog := k.respawn()
 	if prog == nil {
 		return
@@ -792,9 +834,48 @@ func (k *Kernel) finishExit(tid uint32) {
 			k.dtlb.InvalidateASN(t.asn)
 			k.itlb.InvalidateASN(t.asn)
 			t.released = true
+			k.freeProcSlot(t)
 			return
 		}
 	}
+}
+
+// flushEvictions applies the architectural consequences of page reclaims
+// staged by the VM layer: each victim's TLB entry is shot down and its cache
+// lines flushed before the frame is remapped (§2.2.2 — the dominant source
+// of kernel-induced I-cache misses under memory pressure).
+func (k *Kernel) flushEvictions() {
+	evs := k.Mem.TakeEvictions()
+	if evs == nil {
+		return
+	}
+	for _, ev := range evs {
+		if asn, ok := k.asnOfPID(ev.PID); ok {
+			vaddr := ev.VPN << mem.PageShift
+			if k.dtlb != nil {
+				k.dtlb.InvalidatePage(asn, vaddr)
+			}
+			if k.itlb != nil {
+				k.itlb.InvalidatePage(asn, vaddr)
+			}
+		}
+		if k.hier != nil {
+			base := mem.FrameBase(ev.PFN)
+			k.hier.FlushIRange(base, mem.PageSize)
+			k.hier.FlushDRange(base, mem.PageSize)
+		}
+	}
+}
+
+// asnOfPID resolves a live process's address-space number for eviction
+// shootdowns. Released processes have no translations left to shoot down.
+func (k *Kernel) asnOfPID(pid uint64) (uint16, bool) {
+	for _, t := range k.threads {
+		if t.kind == tkUser && t.pid == pid && !t.released {
+			return t.asn, true
+		}
+	}
+	return 0, false
 }
 
 // modeForce overrides the mode of generated instructions (PAL trampolines

@@ -14,6 +14,11 @@ type ThreadInfo struct {
 	// legitimately still owns pages and TLB entries.
 	Released bool
 	Worker   bool
+	// FDs is the thread's open-descriptor count against the per-process
+	// limit; Slot is its process-table slot (-1 for kernel threads and
+	// torn-down processes).
+	FDs  int
+	Slot int
 }
 
 // ThreadInfos returns a summary of every registered thread.
@@ -30,7 +35,7 @@ func (k *Kernel) ThreadInfos() []ThreadInfo {
 		out = append(out, ThreadInfo{
 			TID: t.tid, PID: t.pid, ASN: t.asn, Kind: kind,
 			Exited: t.state == tsExited, Released: t.released,
-			Worker: t.worker,
+			Worker: t.worker, FDs: t.fds, Slot: t.slot,
 		})
 	}
 	return out
@@ -42,6 +47,7 @@ type SocketInfo struct {
 	Listen  bool
 	Conn    int
 	Closed  bool
+	Free    bool
 	Owner   uint32
 	Waiters int
 	// AcceptQ is a copy of the live accept-queue window (listen sockets).
@@ -56,8 +62,8 @@ func (k *Kernel) SocketInfos() []SocketInfo {
 	for _, s := range k.net.socks {
 		si := SocketInfo{
 			ID: s.id, Listen: s.listen, Conn: s.conn,
-			Closed: s.closed, Owner: s.owner, Waiters: len(s.waiters),
-			LastActive: s.lastActive,
+			Closed: s.closed, Free: s.free, Owner: s.owner,
+			Waiters: len(s.waiters), LastActive: s.lastActive,
 		}
 		if s.listen && s.acceptLen() > 0 {
 			si.AcceptQ = append([]int(nil), s.acceptQ[s.acceptHead:]...)
@@ -72,3 +78,34 @@ func (k *Kernel) AcceptBacklogLimit() int { return k.backlogLimit() }
 
 // NetTicks returns the number of elapsed 10 ms network ticks (for audits).
 func (k *Kernel) NetTicks() uint64 { return k.net.ticks }
+
+// SockFreeIDs returns a copy of the socket-table freelist (for audits).
+func (k *Kernel) SockFreeIDs() []int { return append([]int(nil), k.net.sockFree...) }
+
+// ProcTable returns a copy of the process-table slots plus the freelist
+// length, for the resource-accounting audit.
+func (k *Kernel) ProcTable() (slots []uint32, free int) {
+	return append([]uint32(nil), k.procSlots...), len(k.procFree)
+}
+
+// LiveUserProcs returns the number of process-table slots in use.
+func (k *Kernel) LiveUserProcs() int { return k.liveUsers }
+
+// PoolCaps reports the effective (possibly squeezed) resource capacities:
+// socket table, mbuf pool, per-process FD limit, process table.
+func (k *Kernel) PoolCaps() (sock, mbuf, fd, proc int) {
+	return k.sockCapEff, k.mbufCapEff, k.fdLimEff, k.procCapEff
+}
+
+// PoolSizes reports the configured (static) pool capacities, the hard upper
+// bounds that hold regardless of squeezes: socket table, mbuf pool,
+// per-process FD limit, process table.
+func (k *Kernel) PoolSizes() (sock, mbuf, fd, proc int) {
+	return k.cfg.SocketTableSize, k.cfg.MbufPoolSize, k.cfg.FDLimit, k.cfg.ProcTableSize
+}
+
+// SockInUse returns the number of live (non-free) socket-table entries.
+func (k *Kernel) SockInUse() int { return k.net.sockInUse() }
+
+// MbufPending returns the current mbuf-pool occupancy.
+func (k *Kernel) MbufPending() int { return len(k.net.pending) }

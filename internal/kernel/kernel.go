@@ -84,11 +84,46 @@ type Config struct {
 	// for that many 10 ms network ticks: stalled slowloris requests and
 	// idle keep-alive connections alike.
 	IdleTimeoutTicks uint64
+	// SocketTableSize bounds the kernel socket table (0 =
+	// DefaultSocketTable). A SYN arriving with the table full is dropped
+	// (ENOBUFS in the stack); the client recovers via retransmit.
+	SocketTableSize int
+	// MbufPoolSize bounds the frames the NIC may queue for netisr
+	// processing (0 = DefaultMbufPool). Arrivals beyond it are dropped at
+	// the interface, as a real mbuf exhaustion drops packets.
+	MbufPoolSize int
+	// ProcTableSize bounds the process/thread table slots available to
+	// user processes (0 = DefaultProcTable). fork beyond it fails with the
+	// EAGAIN analogue and the master retries.
+	ProcTableSize int
+	// FDLimit bounds per-process open network descriptors (0 =
+	// DefaultFDLimit). accept beyond it fails with the EMFILE analogue.
+	FDLimit int
+	// MemFrameLimit, when > 0, caps the frame allocator below its physical
+	// size at boot (see mem.SetFrameLimit); the exhaustion fault domain can
+	// shrink it further mid-run.
+	MemFrameLimit uint64
 }
 
 // DefaultAcceptBacklog is the default listen-queue bound (Digital Unix
 // shipped somaxconn-sized listen queues of this order).
 const DefaultAcceptBacklog = 1024
+
+// Default resource-pool capacities. They are sized like a period Digital
+// Unix installation relative to this simulation's scale: generous enough
+// that no default workload ever binds on them, small enough that the
+// exhaustion fault domain can squeeze them into range of real demand.
+const (
+	// DefaultSocketTable bounds concurrently open sockets.
+	DefaultSocketTable = 4096
+	// DefaultMbufPool bounds NIC frames queued for netisr processing.
+	DefaultMbufPool = 8192
+	// DefaultProcTable bounds live user processes.
+	DefaultProcTable = 256
+	// DefaultFDLimit bounds per-process open network descriptors
+	// (getdtablesize-style).
+	DefaultFDLimit = 64
+)
 
 // DefaultConfig returns the configuration used by the experiments.
 func DefaultConfig() Config {
@@ -150,6 +185,12 @@ type Thread struct {
 	// invalidation) has retired. Between tsExited and released the thread
 	// legitimately still owns its pages and TLB entries.
 	released bool
+	// fds counts the thread's open network descriptors, against the
+	// per-process FD limit.
+	fds int
+	// slot is the process-table slot a user thread occupies (-1 for kernel
+	// threads, and after the slot is freed at exit teardown).
+	slot int
 }
 
 // TID returns the thread's identifier.
@@ -227,6 +268,37 @@ type Kernel struct {
 	ConnsRefused    uint64
 	ReapedIdle      uint64
 	ReapedSlowloris uint64
+
+	// Finite-pool state: free-listed flat tables whose exhaustion returns
+	// structured errors through the syscall path instead of growing
+	// unbounded (see DefaultSocketTable and friends).
+	//
+	// procSlots[i] is the tid occupying process-table slot i (0 = free);
+	// procFree is its LIFO freelist.
+	procSlots []uint32
+	procFree  []int
+	// liveUsers counts user threads between fork and exit teardown (they
+	// hold a process slot the whole time).
+	liveUsers int
+	// pendingRespawns counts master re-forks refused at a full process
+	// table, retried each network tick.
+	pendingRespawns int
+	// Effective capacities: equal to the configured sizes until the
+	// exhaustion fault domain squeezes them (squeezed latches that the
+	// one-shot squeeze has been applied).
+	sockCapEff int
+	mbufCapEff int
+	fdLimEff   int
+	procCapEff int
+	squeezed   bool
+
+	// Pool-exhaustion counters and demand gauges.
+	SockPoolRejects uint64 // SYNs dropped at a full socket table (ENOBUFS)
+	MbufDrops       uint64 // NIC arrivals dropped at a full mbuf pool
+	FDRejects       uint64 // accepts refused at the per-process FD limit (EMFILE)
+	ForkRejects     uint64 // forks refused at a full process table (EAGAIN)
+	SockHighwater   int    // peak sockets in use
+	MbufHighwater   int    // peak mbuf-pool occupancy
 }
 
 // cacheInvalidator is the slice of the cache hierarchy the kernel needs for
@@ -256,14 +328,36 @@ func New(cfg Config) *Kernel {
 	if err != nil {
 		panic(fmt.Sprintf("kernel: %v", err))
 	}
+	if cfg.SocketTableSize <= 0 {
+		cfg.SocketTableSize = DefaultSocketTable
+	}
+	if cfg.MbufPoolSize <= 0 {
+		cfg.MbufPoolSize = DefaultMbufPool
+	}
+	if cfg.ProcTableSize <= 0 {
+		cfg.ProcTableSize = DefaultProcTable
+	}
+	if cfg.FDLimit <= 0 {
+		cfg.FDLimit = DefaultFDLimit
+	}
 	k := &Kernel{
-		cfg:     cfg,
-		rng:     rng.New(cfg.Seed ^ 0xfeedface),
-		Mem:     m,
-		feeds:   make([]ctxFeed, cfg.Contexts),
-		nextTID: 1,
-		nextPID: 1,
-		nextASN: 1,
+		cfg:        cfg,
+		rng:        rng.New(cfg.Seed ^ 0xfeedface),
+		Mem:        m,
+		feeds:      make([]ctxFeed, cfg.Contexts),
+		nextTID:    1,
+		nextPID:    1,
+		nextASN:    1,
+		sockCapEff: cfg.SocketTableSize,
+		mbufCapEff: cfg.MbufPoolSize,
+		fdLimEff:   cfg.FDLimit,
+		procCapEff: cfg.ProcTableSize,
+	}
+	k.procSlots = make([]uint32, cfg.ProcTableSize)
+	k.procFree = make([]int, cfg.ProcTableSize)
+	for i := range k.procFree {
+		// LIFO freelist popped from the tail: slot 0 is handed out first.
+		k.procFree[i] = cfg.ProcTableSize - 1 - i
 	}
 	k.code = buildCodebase(k.rng.Split(1), cfg.Contexts)
 	k.net = newNetState()
@@ -282,6 +376,9 @@ func New(cfg Config) *Kernel {
 	}
 	if !cfg.ColdBoot {
 		k.prewarm()
+	}
+	if cfg.MemFrameLimit > 0 {
+		k.Mem.SetFrameLimit(cfg.MemFrameLimit)
 	}
 	return k
 }
@@ -324,25 +421,54 @@ type hierAdapter struct{ e *pipeline.Engine }
 func (h hierAdapter) FlushIRange(base, size uint64) { h.e.Hier.L1I.InvalidateRange(base, size) }
 func (h hierAdapter) FlushDRange(base, size uint64) { h.e.Hier.L1D.InvalidateRange(base, size) }
 
-// newThread registers a thread.
+// newThread registers a thread. A user thread needs a process-table slot;
+// newThread returns nil when the table is full (the fork-time admission
+// control — callers surface the EAGAIN analogue).
 func (k *Kernel) newThread(kind threadKind, prog workload.Program) *Thread {
 	t := &Thread{
 		tid:  k.nextTID,
 		kind: kind,
 		prog: prog,
 		sock: -1,
+		slot: -1,
 	}
-	k.nextTID++
 	if kind == tkUser {
+		if !k.canFork() {
+			return nil
+		}
+		n := len(k.procFree)
+		t.slot = k.procFree[n-1]
+		k.procFree = k.procFree[:n-1]
+		k.procSlots[t.slot] = t.tid
+		k.liveUsers++
+		k.nextTID++
 		k.nextPID++
 		t.pid = k.nextPID
 		t.asn = k.allocASN()
 	} else {
+		k.nextTID++
 		t.pid = mem.KernelPID
 		t.asn = tlb.GlobalASN
 	}
 	k.threads = append(k.threads, t)
 	return t
+}
+
+// canFork reports whether a process-table slot is available under the
+// effective (possibly squeezed) capacity.
+func (k *Kernel) canFork() bool {
+	return len(k.procFree) > 0 && k.liveUsers < k.procCapEff
+}
+
+// freeProcSlot returns a thread's process-table slot at exit teardown.
+func (k *Kernel) freeProcSlot(t *Thread) {
+	if t.slot < 0 {
+		return
+	}
+	k.procSlots[t.slot] = 0
+	k.procFree = append(k.procFree, t.slot)
+	t.slot = -1
+	k.liveUsers--
 }
 
 // allocASN hands out address-space numbers, recycling (with TLB
@@ -364,9 +490,14 @@ func (k *Kernel) allocASN() uint16 {
 }
 
 // AddProgram registers a user process running prog and makes it runnable.
-// It returns the thread (for tests and reporting).
+// It returns the thread (for tests and reporting). Initial wiring must fit
+// the process table; size ProcTableSize for the workload.
 func (k *Kernel) AddProgram(prog workload.Program) *Thread {
 	t := k.newThread(tkUser, prog)
+	if t == nil {
+		panic(fmt.Sprintf("kernel: process table full (%d slots); raise Config.ProcTableSize",
+			k.cfg.ProcTableSize))
+	}
 	t.state = tsRunnable
 	k.runQ = append(k.runQ, t)
 	return t
@@ -382,6 +513,37 @@ func (k *Kernel) AddWorker(prog workload.Program) *Thread {
 
 // SetFaults attaches the fault injector (nil disables process faults).
 func (k *Kernel) SetFaults(inj *faults.Injector) { k.faults = inj }
+
+// applySqueeze is the exhaustion fault domain landing mid-run: the frame
+// allocator and the effective pool capacities shrink to (1-frac) of their
+// pre-squeeze sizes, with floors that leave the machine degraded but
+// functional (the sweep's graceful-degradation contract).
+func (k *Kernel) applySqueeze(memFrac, poolFrac float64) {
+	k.squeezed = true
+	if k.faults != nil {
+		k.faults.Squeezes++
+	}
+	if memFrac > 0 {
+		base := k.Mem.FrameLimit()
+		if base == 0 {
+			base = k.Mem.Frames()
+		}
+		k.Mem.SetFrameLimit(uint64(float64(base) * (1 - memFrac)))
+	}
+	if poolFrac > 0 {
+		scale := func(v, floor int) int {
+			n := int(float64(v) * (1 - poolFrac))
+			if n < floor {
+				n = floor
+			}
+			return n
+		}
+		k.sockCapEff = scale(k.cfg.SocketTableSize, 2)
+		k.mbufCapEff = scale(k.cfg.MbufPoolSize, netisrBatch)
+		k.fdLimEff = scale(k.cfg.FDLimit, 1)
+		k.procCapEff = scale(k.cfg.ProcTableSize, 1)
+	}
+}
 
 // SetRespawn installs the master's re-fork hook: called after an injected
 // worker crash to build the replacement process.

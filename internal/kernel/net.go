@@ -61,6 +61,9 @@ type socket struct {
 	reqBytes int
 	// served records that at least one response was written.
 	served bool
+	// free marks a recycled socket-table slot (on the sockFree list,
+	// awaiting reuse by the next connection).
+	free bool
 }
 
 // acceptLen returns the number of pending (unaccepted) connections.
@@ -85,11 +88,15 @@ func (s *socket) popAccept() int {
 
 // netState is the kernel's network stack state.
 type netState struct {
-	nic     NIC
-	socks   []*socket
-	byConn  map[int]int // connection id -> socket id
-	pending []Frame     // frames awaiting netisr processing
-	now     uint64
+	nic    NIC
+	socks  []*socket
+	byConn map[int]int // connection id -> socket id
+	// sockFree is the LIFO freelist of recycled socket-table slots; the
+	// table is flat and free-listed so socket allocation is bounded and
+	// deterministic.
+	sockFree []int
+	pending  []Frame // frames awaiting netisr processing
+	now      uint64
 	// ticks counts 10 ms network ticks; idle timers are expressed in it.
 	ticks uint64
 	// Delivered counts frames fully processed by netisr.
@@ -120,6 +127,44 @@ func (ns *netState) sock(id int) *socket {
 		return nil
 	}
 	return ns.socks[id]
+}
+
+// sockInUse returns the number of live (non-free) socket-table entries.
+func (ns *netState) sockInUse() int { return len(ns.socks) - len(ns.sockFree) }
+
+// allocSocket hands out a socket-table entry: a recycled slot if one is
+// free, else a fresh one while the table has room under the effective
+// capacity. nil means the table is exhausted (the stack's ENOBUFS).
+func (k *Kernel) allocSocket() *socket {
+	ns := k.net
+	if ns.sockInUse() >= k.sockCapEff {
+		return nil
+	}
+	if n := len(ns.sockFree); n > 0 {
+		id := ns.sockFree[n-1]
+		ns.sockFree = ns.sockFree[:n-1]
+		s := ns.socks[id]
+		*s = socket{id: id}
+		return s
+	}
+	if len(ns.socks) >= k.cfg.SocketTableSize {
+		return nil
+	}
+	s := &socket{id: len(ns.socks)}
+	ns.socks = append(ns.socks, s)
+	return s
+}
+
+// freeSocket recycles a closed connection socket's table slot. The listen
+// socket is never recycled, and a slot with sleepers cannot be (they would
+// wake on a stranger's socket).
+func (ns *netState) freeSocket(s *socket) {
+	if s.listen || s.free || len(s.waiters) > 0 {
+		return
+	}
+	id := s.id
+	*s = socket{id: id, free: true}
+	ns.sockFree = append(ns.sockFree, id)
 }
 
 // SetNIC attaches the network simulator.
@@ -187,11 +232,24 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 				k.ConnsRefused++
 				continue
 			}
-			s := &socket{id: len(ns.socks), conn: fr.Conn, data: fr.Bytes,
-				lastActive: ns.ticks, reqBytes: fr.Bytes}
-			ns.socks = append(ns.socks, s)
+			s := k.allocSocket()
+			if s == nil {
+				// Socket table exhausted: the stack fails the PCB
+				// allocation (ENOBUFS) and the SYN is dropped; the client
+				// recovers through its retransmit path.
+				ns.Dropped++
+				k.SockPoolRejects++
+				continue
+			}
+			s.conn = fr.Conn
+			s.data = fr.Bytes
+			s.lastActive = ns.ticks
+			s.reqBytes = fr.Bytes
 			ns.byConn[fr.Conn] = s.id
 			ls.acceptQ = append(ls.acceptQ, s.id)
+			if inUse := ns.sockInUse(); inUse > k.SockHighwater {
+				k.SockHighwater = inUse
+			}
 			if w := popWaiter(ls); w != nil {
 				k.completeAccept(w, ls)
 			}
@@ -240,15 +298,22 @@ func (k *Kernel) reapSockets(t *Thread) {
 			}
 			s.waiters = kept
 		}
-		if s.listen || s.closed || s.owner != t.tid {
+		if s.listen || s.free || s.owner != t.tid {
 			continue
 		}
-		s.closed = true
-		delete(ns.byConn, s.conn)
-		if ns.nic != nil {
-			ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
+		if !s.closed {
+			s.closed = true
+			delete(ns.byConn, s.conn)
+			if ns.nic != nil {
+				ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
+			}
 		}
+		// The dead process's descriptor table is gone: recycle the slot
+		// even if the socket was already closed (e.g. by the idle reaper)
+		// but never released — no FD or socket may leak past teardown.
+		ns.freeSocket(s)
 	}
+	t.fds = 0
 }
 
 // backlogLimit returns the effective accept-backlog bound.
@@ -312,6 +377,7 @@ func (k *Kernel) completeAccept(t *Thread, ls *socket) {
 	so := k.net.socks[sid]
 	so.owner = t.tid
 	so.lastActive = k.net.ticks
+	t.fds++
 	t.wakeResult = sid
 	k.wake(t)
 }
@@ -339,11 +405,19 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 		if ls == nil {
 			return -1, false
 		}
+		if t.fds >= k.fdLimEff {
+			// Per-process descriptor table full: fail with the EMFILE
+			// analogue instead of handing out an unbounded fd. The server
+			// model backs off and retries the accept.
+			k.FDRejects++
+			return sys.ErrMfile, false
+		}
 		if ls.acceptLen() > 0 {
 			sid := ls.popAccept()
 			so := ns.socks[sid]
 			so.owner = t.tid
 			so.lastActive = ns.ticks
+			t.fds++
 			return sid, false
 		}
 		ls.waiters = append(ls.waiters, t)
@@ -394,12 +468,18 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 	case sys.SysClose:
 		if req.Resource == sys.ResNet {
 			s := ns.sock(req.FD)
-			if s != nil {
+			if s != nil && !s.listen && !s.free {
 				s.closed = true
 				delete(ns.byConn, s.conn)
 				if ns.nic != nil {
 					ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
 				}
+				if s.owner == t.tid && t.fds > 0 {
+					t.fds--
+				}
+				// The descriptor is gone: recycle the table slot so the
+				// bounded socket pool drains as connections close.
+				ns.freeSocket(s)
 			}
 		}
 		return 0, false
@@ -421,7 +501,15 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 		return 0, false
 	case sys.SysStat, sys.SysOpen, sys.SysIoctl, sys.SysGetpid, sys.SysSigaction:
 		return 0, false
-	case sys.SysFork, sys.SysExec:
+	case sys.SysFork:
+		// Admission control: a fork that would overflow the process table
+		// fails with EAGAIN instead of wedging the kernel. Callers retry.
+		if !k.canFork() {
+			k.ForkRejects++
+			return sys.ErrAgain, false
+		}
+		return int(t.pid), false
+	case sys.SysExec:
 		return int(t.pid), false
 	}
 	return 0, false

@@ -38,7 +38,11 @@ func accept(t *testing.T, k *Kernel, owner *Thread) int {
 // out connections FIFO across hundreds of accepts, and the consumed prefix
 // is reclaimed (head never grows without bound).
 func TestAcceptQueueOrderAndCompaction(t *testing.T) {
-	k := New(netCfg())
+	cfg := netCfg()
+	// One thread holds all 300 accepted sockets here; lift the per-process
+	// descriptor limit so only queue mechanics are under test.
+	cfg.FDLimit = 512
+	k := New(cfg)
 	owner := k.threads[0]
 	openFrames(k, 300)
 	ls := k.net.socks[ListenFD]

@@ -75,6 +75,8 @@ type ThreadSnap struct {
 	Sock       int
 	Worker     bool
 	Released   bool
+	FDs        int
+	Slot       int
 	HasProg    bool
 	Prog       ProgSnap
 }
@@ -107,12 +109,14 @@ type SocketSnap struct {
 	LastActive uint64
 	ReqBytes   int
 	Served     bool
+	Free       bool
 }
 
 // NetSnap is the serialized form of the kernel network stack.
 type NetSnap struct {
 	Socks     []SocketSnap
 	ByConn    []ConnSock // sorted by Conn
+	SockFree  []int      // socket-table freelist, LIFO order preserved
 	Pending   []Frame
 	Now       uint64
 	Ticks     uint64
@@ -167,6 +171,24 @@ type Snapshot struct {
 	ConnsRefused    uint64
 	ReapedIdle      uint64
 	ReapedSlowloris uint64
+
+	// Finite-resource state: process table, effective (possibly squeezed)
+	// pool capacities, and the exhaustion counters/gauges.
+	ProcSlots       []uint32
+	ProcFree        []int // process-table freelist, LIFO order preserved
+	LiveUsers       int
+	PendingRespawns int
+	SockCapEff      int
+	MbufCapEff      int
+	FDLimEff        int
+	ProcCapEff      int
+	Squeezed        bool
+	SockPoolRejects uint64
+	MbufDrops       uint64
+	FDRejects       uint64
+	ForkRejects     uint64
+	SockHighwater   int
+	MbufHighwater   int
 }
 
 // ProgFactory rebuilds the structure of a user program identified by
@@ -203,6 +225,21 @@ func (k *Kernel) Snapshot() Snapshot {
 		ConnsRefused:    k.ConnsRefused,
 		ReapedIdle:      k.ReapedIdle,
 		ReapedSlowloris: k.ReapedSlowloris,
+		ProcSlots:       append([]uint32(nil), k.procSlots...),
+		ProcFree:        append([]int(nil), k.procFree...),
+		LiveUsers:       k.liveUsers,
+		PendingRespawns: k.pendingRespawns,
+		SockCapEff:      k.sockCapEff,
+		MbufCapEff:      k.mbufCapEff,
+		FDLimEff:        k.fdLimEff,
+		ProcCapEff:      k.procCapEff,
+		Squeezed:        k.squeezed,
+		SockPoolRejects: k.SockPoolRejects,
+		MbufDrops:       k.MbufDrops,
+		FDRejects:       k.FDRejects,
+		ForkRejects:     k.ForkRejects,
+		SockHighwater:   k.SockHighwater,
+		MbufHighwater:   k.MbufHighwater,
 	}
 
 	// Kernel-code walkers, in deterministic (region, ctx) order.
@@ -232,7 +269,7 @@ func (k *Kernel) Snapshot() Snapshot {
 			Kind: uint8(t.kind), State: uint8(t.state),
 			Burst: t.burst, SinceSched: t.sinceSched, LastCtx: t.lastCtx,
 			WakeResult: t.wakeResult, Sock: t.sock, Worker: t.worker,
-			Released: t.released,
+			Released: t.released, FDs: t.fds, Slot: t.slot,
 		}
 		if t.wakeReq != nil {
 			ts.HasWake = true
@@ -280,13 +317,15 @@ func (k *Kernel) Snapshot() Snapshot {
 
 	ns := k.net
 	s.Net = NetSnap{Pending: append([]Frame(nil), ns.pending...), Now: ns.now,
-		Ticks: ns.ticks, Delivered: ns.Delivered, Dropped: ns.Dropped}
+		Ticks: ns.ticks, Delivered: ns.Delivered, Dropped: ns.Dropped,
+		SockFree: append([]int(nil), ns.sockFree...)}
 	for _, so := range ns.socks {
 		ss := SocketSnap{
 			ID: so.id, Listen: so.listen, Conn: so.conn,
 			AcceptQ: append([]int(nil), so.acceptQ[so.acceptHead:]...),
 			Data:    so.data, Closed: so.closed, Owner: so.owner,
 			LastActive: so.lastActive, ReqBytes: so.reqBytes, Served: so.served,
+			Free: so.free,
 		}
 		for _, w := range so.waiters {
 			ss.Waiters = append(ss.Waiters, w.tid)
@@ -379,7 +418,7 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 			kind: threadKind(ts.Kind), state: threadState(ts.State),
 			burst: ts.Burst, sinceSched: ts.SinceSched, lastCtx: ts.LastCtx,
 			wakeResult: ts.WakeResult, sock: ts.Sock, worker: ts.Worker,
-			released: ts.Released,
+			released: ts.Released, fds: ts.FDs, slot: ts.Slot,
 		}
 		if ts.HasWake {
 			t.wakeReq = &sys.Request{}
@@ -439,6 +478,7 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 			acceptQ: append([]int(nil), ss.AcceptQ...),
 			data:    ss.Data, closed: ss.Closed, owner: ss.Owner,
 			lastActive: ss.LastActive, reqBytes: ss.ReqBytes, served: ss.Served,
+			free: ss.Free,
 		}
 		for _, tid := range ss.Waiters {
 			t := k.threadByTID(tid)
@@ -453,6 +493,7 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 	for _, cs := range s.Net.ByConn {
 		ns.byConn[cs.Conn] = cs.Sock
 	}
+	ns.sockFree = append(ns.sockFree[:0], s.Net.SockFree...)
 	ns.pending = append(ns.pending[:0], s.Net.Pending...)
 	ns.now = s.Net.Now
 	ns.ticks = s.Net.Ticks
@@ -483,6 +524,21 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 	k.ConnsRefused = s.ConnsRefused
 	k.ReapedIdle = s.ReapedIdle
 	k.ReapedSlowloris = s.ReapedSlowloris
+	k.procSlots = append(k.procSlots[:0], s.ProcSlots...)
+	k.procFree = append(k.procFree[:0], s.ProcFree...)
+	k.liveUsers = s.LiveUsers
+	k.pendingRespawns = s.PendingRespawns
+	k.sockCapEff = s.SockCapEff
+	k.mbufCapEff = s.MbufCapEff
+	k.fdLimEff = s.FDLimEff
+	k.procCapEff = s.ProcCapEff
+	k.squeezed = s.Squeezed
+	k.SockPoolRejects = s.SockPoolRejects
+	k.MbufDrops = s.MbufDrops
+	k.FDRejects = s.FDRejects
+	k.ForkRejects = s.ForkRejects
+	k.SockHighwater = s.SockHighwater
+	k.MbufHighwater = s.MbufHighwater
 	return progs, nil
 }
 

@@ -185,6 +185,210 @@ func TestExhaustionRecyclesForever(t *testing.T) {
 	}
 }
 
+// Regression (ReleaseProcess vs shared text): a shared text frame mapped by
+// live processes is pinned — reclaim must never evict it, even when one of
+// the sharing processes has exited and heavy pressure forces every private
+// page through the reclaimer.
+func TestReclaimNeverEvictsSharedText(t *testing.T) {
+	m, _ := NewMemory(16 * PageSize)
+	base := uint64(UserTextBase)
+	m.ShareRange(base, 2*PageSize)
+	m.Touch(1, base)          // shared text, charged to KernelPID
+	m.Touch(1, base+PageSize) // second shared text page
+	m.Touch(2, base)          // pid 2 maps the same frames (refill)
+	sharedPA, ok := m.Translate(2, base)
+	if !ok {
+		t.Fatal("shared text not mapped")
+	}
+	// pid 1 exits; pid 2 lives on, still executing the shared text.
+	for i := uint64(0); i < 4; i++ {
+		m.Touch(1, UserDataBase+i*PageSize)
+	}
+	m.ReleaseProcess(1)
+	// Drive far more private allocations through pid 2 than there are
+	// frames, forcing reclaim to cycle the whole paged pool repeatedly.
+	for i := uint64(0); i < 64; i++ {
+		m.Touch(2, UserDataBase+PIDStride+i*PageSize)
+	}
+	if m.Reclaims == 0 {
+		t.Fatal("pressure loop never reclaimed")
+	}
+	pa, ok := m.Translate(2, base)
+	if !ok {
+		t.Fatal("shared text frame evicted while still mapped by a live process")
+	}
+	if pa != sharedPA {
+		t.Fatalf("shared text moved: %#x -> %#x", sharedPA, pa)
+	}
+}
+
+// Regression (ReleaseProcess determinism): released frames re-enter the
+// free list in sorted frame order regardless of map iteration order, and
+// feed subsequent allocations LIFO from that order.
+func TestReleaseProcessFreeOrderDeterministic(t *testing.T) {
+	alloc := func() (*Memory, []uint64) {
+		m, _ := NewMemory(1 << 20)
+		// Interleave two processes so pid 9's frames are non-contiguous.
+		for i := uint64(0); i < 6; i++ {
+			m.Touch(9, UserDataBase+i*PageSize)
+			m.Touch(4, UserDataBase+i*PageSize)
+		}
+		m.ReleaseProcess(9)
+		return m, m.FreeFrames()
+	}
+	m1, f1 := alloc()
+	_, f2 := alloc()
+	if len(f1) != 6 {
+		t.Fatalf("free list has %d frames, want 6", len(f1))
+	}
+	for i := 1; i < len(f1); i++ {
+		if f1[i-1] >= f1[i] {
+			t.Fatalf("free list not sorted: %v", f1)
+		}
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("free order differs across identical runs: %v vs %v", f1, f2)
+		}
+	}
+	// The next allocation must consume the highest freed frame (LIFO).
+	want := f1[len(f1)-1]
+	pa, _ := m1.Touch(11, UserDataBase)
+	if pa>>PageShift != want {
+		t.Fatalf("reused frame %d, want %d", pa>>PageShift, want)
+	}
+}
+
+// Second chance: a page referenced after its first queue pass survives the
+// next reclaim scan; the unreferenced one behind it is evicted instead.
+func TestSecondChanceSparesReferencedPage(t *testing.T) {
+	m, _ := NewMemory(4 * PageSize)
+	for i := uint64(0); i < 4; i++ {
+		m.Touch(1, UserDataBase+i*PageSize)
+	}
+	// First overflow: one full clearing pass, then page 0 is evicted.
+	m.Touch(1, UserDataBase+4*PageSize)
+	if _, ok := m.Translate(1, UserDataBase); ok {
+		t.Fatal("page 0 should have been evicted")
+	}
+	// Re-reference page 1 (sets its ref bit); page 2 stays cold.
+	m.Touch(1, UserDataBase+1*PageSize)
+	m.Touch(1, UserDataBase+5*PageSize)
+	if _, ok := m.Translate(1, UserDataBase+1*PageSize); !ok {
+		t.Fatal("referenced page evicted despite second chance")
+	}
+	if _, ok := m.Translate(1, UserDataBase+2*PageSize); ok {
+		t.Fatal("cold page 2 should have been the victim")
+	}
+	if m.SecondChances == 0 {
+		t.Fatal("no second chances recorded")
+	}
+}
+
+func TestFrameLimitCapsUsage(t *testing.T) {
+	m, _ := NewMemory(1 << 20) // 128 frames
+	m.Touch(1, KernelTextBase) // kernel resident set: 1 page
+	applied := m.SetFrameLimit(80)
+	if applied != 80 {
+		t.Fatalf("applied limit %d, want 80", applied)
+	}
+	for i := uint64(0); i < 120; i++ {
+		m.Touch(1, UserDataBase+i*PageSize)
+	}
+	// In use may exceed the limit only by the reclaimer's staged batch.
+	if got := m.FramesInUse(); got > 80 {
+		t.Fatalf("frames in use %d exceeds limit 80", got)
+	}
+	if m.Reclaims == 0 {
+		t.Fatal("limit pressure produced no reclaims")
+	}
+	if m.nextFrame >= m.frames {
+		t.Fatal("bump pointer ran to the physical wall despite the limit")
+	}
+	// The floor clamp refuses a limit below kernel RSS + minUserFrames.
+	if got := m.SetFrameLimit(1); got != m.RSS(KernelPID)+minUserFrames {
+		t.Fatalf("floor clamp applied %d", got)
+	}
+	if m.SetFrameLimit(0) != 0 || m.FrameLimit() != 0 {
+		t.Fatal("limit removal failed")
+	}
+}
+
+func TestRSSAccounting(t *testing.T) {
+	m, _ := NewMemory(1 << 20)
+	m.ShareRange(UserTextBase, 2*PageSize)
+	m.Touch(5, UserTextBase) // charged to KernelPID
+	for i := uint64(0); i < 8; i++ {
+		m.Touch(5, UserDataBase+i*PageSize)
+	}
+	if got := m.RSS(5); got != 8 {
+		t.Fatalf("RSS(5) = %d, want 8", got)
+	}
+	if got := m.RSS(KernelPID); got != 1 {
+		t.Fatalf("kernel RSS = %d, want 1", got)
+	}
+	if m.RSSHighwater != 8 {
+		t.Fatalf("RSSHighwater = %d, want 8", m.RSSHighwater)
+	}
+	m.Unmap(5, UserDataBase)
+	if got := m.RSS(5); got != 7 {
+		t.Fatalf("RSS(5) after unmap = %d, want 7", got)
+	}
+	m.ReleaseProcess(5)
+	if got := m.RSS(5); got != 0 {
+		t.Fatalf("RSS(5) after release = %d, want 0", got)
+	}
+	// Sum of RSS entries equals frames in use.
+	var sum uint64
+	for _, e := range m.RSSEntries() {
+		sum += e.Pages
+	}
+	if sum != m.FramesInUse() {
+		t.Fatalf("RSS sum %d != frames in use %d", sum, m.FramesInUse())
+	}
+}
+
+func TestTakeEvictionsDrains(t *testing.T) {
+	m, _ := NewMemory(4 * PageSize)
+	for i := uint64(0); i < 5; i++ {
+		m.Touch(1, UserDataBase+i*PageSize)
+	}
+	evs := m.TakeEvictions()
+	if len(evs) != 1 {
+		t.Fatalf("%d evictions recorded, want 1", len(evs))
+	}
+	if evs[0].PID != 1 || evs[0].VPN != VPN(UserDataBase) {
+		t.Fatalf("eviction = %+v, want pid 1 vpn of page 0", evs[0])
+	}
+	if m.TakeEvictions() != nil {
+		t.Fatal("second TakeEvictions not empty")
+	}
+}
+
+func TestSnapshotRoundTripPressureState(t *testing.T) {
+	m, _ := NewMemory(8 * PageSize)
+	m.SetFrameLimit(7)
+	for i := uint64(0); i < 12; i++ {
+		m.Touch(3, UserDataBase+i*PageSize)
+	}
+	s := m.Snapshot()
+	m2, _ := NewMemory(8 * PageSize)
+	m2.Restore(s)
+	// Identical state must produce identical snapshots and identical
+	// behavior on the next pressure event.
+	s2 := m2.Snapshot()
+	if len(s2.RSS) != len(s.RSS) || len(s2.Ref) != len(s.Ref) ||
+		len(s2.Dirty) != len(s.Dirty) || s2.Limit != s.Limit ||
+		s2.SecondChances != s.SecondChances || s2.FramesHighwater != s.FramesHighwater {
+		t.Fatalf("snapshot round trip differs:\n%+v\n%+v", s, s2)
+	}
+	pa1, k1 := m.Touch(3, UserDataBase+20*PageSize)
+	pa2, k2 := m2.Touch(3, UserDataBase+20*PageSize)
+	if pa1 != pa2 || k1 != k2 {
+		t.Fatalf("post-restore divergence: %#x/%v vs %#x/%v", pa1, k1, pa2, k2)
+	}
+}
+
 func TestSharedRange(t *testing.T) {
 	m, _ := NewMemory(1 << 20)
 	base := uint64(UserTextBase)

@@ -21,6 +21,12 @@ type SharedRange struct {
 	Base, End uint64
 }
 
+// RSSEntry is one process's serialized resident-set count.
+type RSSEntry struct {
+	PID   uint64
+	Pages uint64
+}
+
 // Snapshot captures all mutable memory state.
 type Snapshot struct {
 	Shared     []SharedRange
@@ -29,12 +35,23 @@ type Snapshot struct {
 	Owners     []Mapping
 	FIFO       []uint64
 	FIFOHead   int
+	Ref        []uint64 // pfns with the referenced bit set, sorted
+	Dirty      []uint64
+	Evict      []Eviction
+	RSS        []RSSEntry
+	Limit      uint64
 	Tables     []PTE
 	Reserved   uint64
 	Allocs     uint64
 	Reclaims   uint64
 	Refills    uint64
 	Unmappings uint64
+
+	ReclaimScans    uint64
+	SecondChances   uint64
+	LimitOverruns   uint64
+	RSSHighwater    uint64
+	FramesHighwater uint64
 }
 
 // Snapshot returns the memory's complete mutable state. Page tables are
@@ -47,11 +64,20 @@ func (m *Memory) Snapshot() Snapshot {
 		Owners:     make([]Mapping, len(m.owners)),
 		FIFO:       append([]uint64(nil), m.fifo...),
 		FIFOHead:   m.fifoHead,
+		Dirty:      append([]uint64(nil), m.dirty...),
+		Evict:      append([]Eviction(nil), m.evict...),
+		Limit:      m.limit,
 		Reserved:   m.reserved,
 		Allocs:     m.Allocs,
 		Reclaims:   m.Reclaims,
 		Refills:    m.Refills,
 		Unmappings: m.Unmappings,
+
+		ReclaimScans:    m.ReclaimScans,
+		SecondChances:   m.SecondChances,
+		LimitOverruns:   m.LimitOverruns,
+		RSSHighwater:    m.RSSHighwater,
+		FramesHighwater: m.FramesHighwater,
 	}
 	for _, r := range m.shared {
 		s.Shared = append(s.Shared, SharedRange{Base: r.base, End: r.end})
@@ -59,6 +85,15 @@ func (m *Memory) Snapshot() Snapshot {
 	for i, o := range m.owners {
 		s.Owners[i] = Mapping{PID: o.pid, VPN: o.vpn}
 	}
+	for pfn, r := range m.ref {
+		if r {
+			s.Ref = append(s.Ref, uint64(pfn))
+		}
+	}
+	for pid, pages := range m.rss {
+		s.RSS = append(s.RSS, RSSEntry{PID: pid, Pages: pages})
+	}
+	sort.Slice(s.RSS, func(i, j int) bool { return s.RSS[i].PID < s.RSS[j].PID })
 	for pid, t := range m.tables {
 		for vpn, pfn := range t {
 			s.Tables = append(s.Tables, PTE{PID: pid, VPN: vpn, PFN: pfn})
@@ -90,6 +125,19 @@ func (m *Memory) Restore(s Snapshot) {
 	}
 	m.fifo = append(m.fifo[:0], s.FIFO...)
 	m.fifoHead = s.FIFOHead
+	for i := range m.ref {
+		m.ref[i] = false
+	}
+	for _, pfn := range s.Ref {
+		m.ref[pfn] = true
+	}
+	m.dirty = append(m.dirty[:0], s.Dirty...)
+	m.evict = append(m.evict[:0], s.Evict...)
+	m.rss = make(map[uint64]uint64, len(s.RSS))
+	for _, e := range s.RSS {
+		m.rss[e.PID] = e.Pages
+	}
+	m.limit = s.Limit
 	m.tables = make(map[uint64]map[uint64]uint64)
 	for _, e := range s.Tables {
 		t := m.tables[e.PID]
@@ -104,6 +152,11 @@ func (m *Memory) Restore(s Snapshot) {
 	m.Reclaims = s.Reclaims
 	m.Refills = s.Refills
 	m.Unmappings = s.Unmappings
+	m.ReclaimScans = s.ReclaimScans
+	m.SecondChances = s.SecondChances
+	m.LimitOverruns = s.LimitOverruns
+	m.RSSHighwater = s.RSSHighwater
+	m.FramesHighwater = s.FramesHighwater
 }
 
 // AllMappings returns every page-table entry in (pid, vpn) sorted order
@@ -127,6 +180,23 @@ func (m *Memory) AllMappings() []PTE {
 // FreeFrames returns a copy of the free list (auditor access).
 func (m *Memory) FreeFrames() []uint64 {
 	return append([]uint64(nil), m.free...)
+}
+
+// DirtyFrames returns a copy of the reclaimer's staged-eviction list
+// (auditor access).
+func (m *Memory) DirtyFrames() []uint64 {
+	return append([]uint64(nil), m.dirty...)
+}
+
+// RSSEntries returns every process's resident-set count in PID order
+// (auditor access).
+func (m *Memory) RSSEntries() []RSSEntry {
+	out := make([]RSSEntry, 0, len(m.rss))
+	for pid, pages := range m.rss {
+		out = append(out, RSSEntry{PID: pid, Pages: pages})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
 }
 
 // TablePIDs returns the PIDs that currently own a page table with at least

@@ -126,6 +126,23 @@ type Snapshot struct {
 	// ticks (populated only under the overload fault domain).
 	Latency stats.Hist
 
+	// Resource-exhaustion counters (all zero unless a finite pool or the
+	// frame limit binds) and demand gauges. Gauges are instantaneous — in a
+	// Delta they report window b's value, not a difference.
+	MemReclaimScans  uint64
+	MemSecondChances uint64
+	MemLimitOverruns uint64
+	SockPoolRejects  uint64
+	MbufDrops        uint64
+	FDRejects        uint64
+	ForkRejects      uint64
+	Squeezes         uint64
+	MemFrameLimit    uint64 // gauge
+	MemRSSHighwater  uint64 // gauge
+	FramesHighwater  uint64 // gauge
+	SockHighwater    int    // gauge
+	MbufHighwater    int    // gauge
+
 	// Sampling holds the sampled-run estimators (Enabled=false on full-detail
 	// runs; everything else zero then).
 	Sampling pipeline.SampleStats
@@ -184,11 +201,24 @@ func Take(sim *core.Simulator) Snapshot {
 	s.ConnsRefused = k.ConnsRefused
 	s.ReapedIdle = k.ReapedIdle
 	s.ReapedSlowloris = k.ReapedSlowloris
+	s.MemReclaimScans = k.Mem.ReclaimScans
+	s.MemSecondChances = k.Mem.SecondChances
+	s.MemLimitOverruns = k.Mem.LimitOverruns
+	s.SockPoolRejects = k.SockPoolRejects
+	s.MbufDrops = k.MbufDrops
+	s.FDRejects = k.FDRejects
+	s.ForkRejects = k.ForkRejects
+	s.MemFrameLimit = k.Mem.FrameLimit()
+	s.MemRSSHighwater = k.Mem.RSSHighwater
+	s.FramesHighwater = k.Mem.FramesHighwater
+	s.SockHighwater = k.SockHighwater
+	s.MbufHighwater = k.MbufHighwater
 	s.Sampling = e.SampleStats()
 	if sim.Faults != nil {
 		s.FramesDropped = sim.Faults.DroppedToServer + sim.Faults.DroppedToClient
 		s.FramesCorrupted = sim.Faults.Corrupted
 		s.FramesDelayed = sim.Faults.Delayed
+		s.Squeezes = sim.Faults.Squeezes
 	}
 	return s
 }
@@ -264,6 +294,20 @@ func Delta(a, b Snapshot) Snapshot {
 	d.ConnsRefused = b.ConnsRefused - a.ConnsRefused
 	d.ReapedIdle = b.ReapedIdle - a.ReapedIdle
 	d.ReapedSlowloris = b.ReapedSlowloris - a.ReapedSlowloris
+	d.MemReclaimScans = b.MemReclaimScans - a.MemReclaimScans
+	d.MemSecondChances = b.MemSecondChances - a.MemSecondChances
+	d.MemLimitOverruns = b.MemLimitOverruns - a.MemLimitOverruns
+	d.SockPoolRejects = b.SockPoolRejects - a.SockPoolRejects
+	d.MbufDrops = b.MbufDrops - a.MbufDrops
+	d.FDRejects = b.FDRejects - a.FDRejects
+	d.ForkRejects = b.ForkRejects - a.ForkRejects
+	d.Squeezes = b.Squeezes - a.Squeezes
+	// Gauges: a window inherits the end snapshot's instantaneous values.
+	d.MemFrameLimit = b.MemFrameLimit
+	d.MemRSSHighwater = b.MemRSSHighwater
+	d.FramesHighwater = b.FramesHighwater
+	d.SockHighwater = b.SockHighwater
+	d.MbufHighwater = b.MbufHighwater
 	d.Latency = b.Latency.Sub(a.Latency)
 	d.Sampling = b.Sampling.Sub(a.Sampling)
 	return d

@@ -53,6 +53,16 @@ func Summary(title string, w Snapshot) string {
 			w.ConnsRefused, w.ReapedIdle, w.ReapedSlowloris,
 			w.Latency.Quantile(0.50), w.Latency.Quantile(0.99), w.Latency.Quantile(0.999))
 	}
+	if w.MemAllocs+w.MemRefills > 0 {
+		fmt.Fprintf(&b, "memory: allocs %d  refills %d  reclaims %d  scans %d  second chances %d  rss peak %d  frames peak %d  limit %d\n",
+			w.MemAllocs, w.MemRefills, w.MemReclaims, w.MemReclaimScans,
+			w.MemSecondChances, w.MemRSSHighwater, w.FramesHighwater, w.MemFrameLimit)
+	}
+	if w.SockPoolRejects+w.MbufDrops+w.FDRejects+w.ForkRejects+w.Squeezes > 0 {
+		fmt.Fprintf(&b, "resources: sock rejects %d  mbuf drops %d  fd rejects %d  fork rejects %d  squeezes %d  sock peak %d  mbuf peak %d\n",
+			w.SockPoolRejects, w.MbufDrops, w.FDRejects, w.ForkRejects,
+			w.Squeezes, w.SockHighwater, w.MbufHighwater)
+	}
 	if sp := w.Sampling; sp.Enabled {
 		detailPct := 0.0
 		if t := sp.FFCycles + sp.DetailCycles; t > 0 {

@@ -49,6 +49,22 @@ func Name(n uint16) string {
 	return fmt.Sprintf("sys%d", n)
 }
 
+// Structured syscall error results, returned as negative values through the
+// syscall result path (the analogues of the Digital Unix errnos). A program
+// that receives a negative result from accept/fork retries through its own
+// state machine; the network clients recover via retransmit/backoff.
+const (
+	// ErrMfile: the calling process is at its per-process descriptor limit
+	// (EMFILE, errno 24 on OSF/1).
+	ErrMfile = -24
+	// ErrAgain: a process-table slot (fork) was not available (EAGAIN,
+	// errno 35 on OSF/1).
+	ErrAgain = -35
+	// ErrNobufs: an mbuf or socket-table allocation failed in the network
+	// stack (ENOBUFS, errno 55 on OSF/1).
+	ErrNobufs = -55
+)
+
 // Resource classifies a syscall instance by the resource it operates on,
 // for the right-hand chart of Figure 7 (network vs file vs process/other).
 type Resource uint8

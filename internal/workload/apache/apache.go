@@ -330,6 +330,12 @@ func (s *Server) process(slot int) *workload.ScriptProgram {
 	resultFn := func(req sys.Request, result int) {
 		switch {
 		case req.Num == sys.SysAccept:
+			if result < 0 {
+				// EMFILE: the per-process descriptor limit refused the
+				// accept. Loop back and retry; the connection stays queued.
+				ps.St = stAccept
+				return
+			}
 			ps.FD = result
 			lookupFile()
 		case req.Num == sys.SysRead && req.Resource == sys.ResNet:
