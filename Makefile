@@ -16,11 +16,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint enforces the determinism contract with the detlint analyzers
-# (maporder, walltime, snapshotcomplete, nogoroutine; see ANALYSIS.md).
+# lint enforces the determinism, reporting, and hot-path contracts with the
+# detlint analyzers (maporder, walltime, snapshotcomplete, nogoroutine,
+# hotalloc, counterflow, seedflow; see ANALYSIS.md).
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/detlint ./internal/...
+	$(GO) run ./cmd/detlint ./internal/... ./cmd/...
 
 test:
 	$(GO) test -timeout 30m ./...

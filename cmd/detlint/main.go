@@ -1,18 +1,21 @@
-// Command detlint is the determinism and snapshot-coverage linter for this
-// repository. It runs the four analyzers of repro/internal/analysis —
-// maporder, walltime, snapshotcomplete, nogoroutine — over the given package
+// Command detlint is the determinism, snapshot-coverage, and performance-
+// contract linter for this repository. It runs the seven analyzers of
+// repro/internal/analysis — maporder, walltime, snapshotcomplete,
+// nogoroutine, hotalloc, counterflow, seedflow — over the given package
 // patterns and exits nonzero on any diagnostic. See ANALYSIS.md for the
-// determinism contract each analyzer enforces and the
-// //detlint:ignore <analyzer> <reason> exemption convention.
+// contract each analyzer enforces, the //detlint:ignore <analyzer> <reason>
+// exemption convention, and the //detlint:hot <reason> hot-root directive.
 //
-//	detlint ./internal/...          # the Makefile `lint` gate
-//	detlint -list                   # describe the analyzers
-//	detlint -only maporder ./...    # one analyzer
+//	detlint ./internal/... ./cmd/...   # the Makefile `lint` gate
+//	detlint -list                      # describe the analyzers
+//	detlint -only maporder ./...       # one analyzer
+//	detlint -json ./...                # machine-readable findings (CI)
 //
 // Run it from the module root (it resolves patterns with `go list`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +24,21 @@ import (
 	"repro/internal/analysis"
 )
 
+// finding is the machine-readable form of one diagnostic, for -json; CI
+// turns these into file:line annotations.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		list = flag.Bool("list", false, "describe the analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "describe the analyzers and exit")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -55,7 +69,7 @@ func main() {
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
-		patterns = []string{"./internal/..."}
+		patterns = []string{"./internal/...", "./cmd/..."}
 	}
 	pkgs, err := analysis.Load(".", patterns)
 	if err != nil {
@@ -63,8 +77,27 @@ func main() {
 		os.Exit(2)
 	}
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "detlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

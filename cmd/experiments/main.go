@@ -203,6 +203,7 @@ func supervised(ids []string, sc experiments.Scale, seed uint64, nSeeds int, tim
 			rec.Values[k] = mean / float64(len(vs))
 			if len(vs) > 1 {
 				if rec.Spread == nil {
+					//detlint:ignore maporder idempotent lazy init; the per-key writes below are keyed by the loop variable
 					rec.Spread = map[string][2]float64{}
 				}
 				rec.Spread[k] = [2]float64{lo, hi}

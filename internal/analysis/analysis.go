@@ -38,7 +38,10 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one static check.
+// An Analyzer describes one static check. Exactly one of Run and RunSuite is
+// set: per-package analyzers see one package at a time, suite analyzers see
+// every package of an invocation at once (the interprocedural contracts —
+// hot-path allocations, counter→report flow — span package boundaries).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	Name string
@@ -46,6 +49,8 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// RunSuite applies the analyzer to all packages at once.
+	RunSuite func(*SuitePass) error
 }
 
 // A Pass provides one analyzer with one type-checked package and a sink for
@@ -91,22 +96,35 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// DirectiveName is the comment prefix of an ignore directive.
-const directivePrefix = "//detlint:ignore"
+// Comment prefixes of the detlint directives.
+const (
+	directivePrefix = "//detlint:ignore"
+	hotPrefix       = "//detlint:hot"
+)
 
-// directive is one parsed //detlint:ignore comment.
+// directive is one parsed //detlint:ignore or //detlint:hot comment. For
+// ignore directives analyzer names the suppressed analyzer; for hot
+// directives analyzer is empty and reason explains why the annotated
+// function is a hot-path root.
 type directive struct {
 	analyzer string
 	reason   string
 	pos      token.Position
 }
 
-// fileDirectives holds a package's ignore directives: indexed by file and
-// line for suppression lookups, plus a flat list in file order so walking
-// every directive is itself deterministic.
+// fileDirectives holds a package's directives: indexed by file and line for
+// suppression lookups, plus flat lists in file order so walking every
+// directive is itself deterministic.
 type fileDirectives struct {
 	byLine map[string]map[int][]directive
 	all    []directive
+	// hots are the //detlint:hot root markers, indexed like byLine.
+	hotLines map[string]map[int][]directive
+	hots     []directive
+}
+
+func (fd fileDirectives) hotsByLine(file string, line int) []directive {
+	return fd.hotLines[file][line]
 }
 
 func (fd fileDirectives) covers(analyzer string, pos token.Position) bool {
@@ -121,30 +139,45 @@ func (fd fileDirectives) covers(analyzer string, pos token.Position) bool {
 	return false
 }
 
-// parseDirectives extracts every //detlint:ignore comment of the files.
+// parseDirectives extracts every //detlint:ignore and //detlint:hot comment
+// of the files.
 func parseDirectives(fset *token.FileSet, files []*ast.File) fileDirectives {
-	fd := fileDirectives{byLine: map[string]map[int][]directive{}}
+	fd := fileDirectives{
+		byLine:   map[string]map[int][]directive{},
+		hotLines: map[string]map[int][]directive{},
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
-					continue
+				switch {
+				case strings.HasPrefix(c.Text, directivePrefix):
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					fields := strings.Fields(rest)
+					d := directive{pos: fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+					}
+					name := d.pos.Filename
+					if fd.byLine[name] == nil {
+						fd.byLine[name] = map[int][]directive{}
+					}
+					fd.byLine[name][d.pos.Line] = append(fd.byLine[name][d.pos.Line], d)
+					fd.all = append(fd.all, d)
+				case strings.HasPrefix(c.Text, hotPrefix):
+					d := directive{
+						reason: strings.TrimSpace(strings.TrimPrefix(c.Text, hotPrefix)),
+						pos:    fset.Position(c.Pos()),
+					}
+					name := d.pos.Filename
+					if fd.hotLines[name] == nil {
+						fd.hotLines[name] = map[int][]directive{}
+					}
+					fd.hotLines[name][d.pos.Line] = append(fd.hotLines[name][d.pos.Line], d)
+					fd.hots = append(fd.hots, d)
 				}
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				fields := strings.Fields(rest)
-				d := directive{pos: fset.Position(c.Pos())}
-				if len(fields) > 0 {
-					d.analyzer = fields[0]
-				}
-				if len(fields) > 1 {
-					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
-				}
-				name := d.pos.Filename
-				if fd.byLine[name] == nil {
-					fd.byLine[name] = map[int][]directive{}
-				}
-				fd.byLine[name][d.pos.Line] = append(fd.byLine[name][d.pos.Line], d)
-				fd.all = append(fd.all, d)
 			}
 		}
 	}
@@ -168,10 +201,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		known[a.Name] = true
 	}
 	var out []Diagnostic
+	merged := fileDirectives{
+		byLine:   map[string]map[int][]directive{},
+		hotLines: map[string]map[int][]directive{},
+	}
 	for _, pkg := range pkgs {
 		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		for file, lines := range dirs.byLine {
+			merged.byLine[file] = lines
+		}
+		for file, lines := range dirs.hotLines {
+			merged.hotLines[file] = lines
+		}
 		var raw []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -211,8 +257,64 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				})
 			}
 		}
+		declLines := funcDeclLines(pkg)
+		for _, d := range dirs.hots {
+			switch {
+			case d.reason == "":
+				out = append(out, Diagnostic{
+					Analyzer: "detlint",
+					Pos:      d.pos,
+					Message:  "hot directive has no reason; write //detlint:hot <why this path must not allocate>",
+				})
+			case !declLines[d.pos.Filename][d.pos.Line] && !declLines[d.pos.Filename][d.pos.Line+1]:
+				out = append(out, Diagnostic{
+					Analyzer: "detlint",
+					Pos:      d.pos,
+					Message:  "hot directive does not attach to a function declaration (put it on the line directly above func)",
+				})
+			}
+		}
+	}
+	suite := &Suite{Pkgs: pkgs}
+	for _, a := range analyzers {
+		if a.RunSuite == nil {
+			continue
+		}
+		var raw []Diagnostic
+		pass := &SuitePass{Analyzer: a, Suite: suite, dirs: merged, diags: &raw}
+		if err := a.RunSuite(pass); err != nil && len(pkgs) > 0 {
+			raw = append(raw, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      pkgs[0].Fset.Position(pkgs[0].Files[0].Pos()),
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+		for _, d := range raw {
+			if merged.covers(d.Analyzer, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
 	}
 	return dedupe(out)
+}
+
+// funcDeclLines records, per file, the starting line of every function
+// declaration — the lines a //detlint:hot directive may attach to.
+func funcDeclLines(pkg *Package) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				pos := pkg.Fset.Position(fd.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]bool{}
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
 }
 
 // dedupe drops repeated (analyzer, position, message) triples — a nested
@@ -247,5 +349,5 @@ func dedupe(diags []Diagnostic) []Diagnostic {
 
 // Analyzers returns the full detlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, SnapshotComplete, NoGoroutine}
+	return []*Analyzer{MapOrder, WallTime, SnapshotComplete, NoGoroutine, HotAlloc, CounterFlow, SeedFlow}
 }

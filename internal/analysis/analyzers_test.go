@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"os/exec"
 	"testing"
 
 	"repro/internal/analysis"
@@ -14,9 +15,22 @@ func TestMapOrder(t *testing.T) {
 func TestWallTime(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.WallTime,
 		"walltime/a",            // simulation package: flagged
+		"walltime/dot",          // dot imports: flagged via the Ident fallback
 		"walltime/internal/rng", // seed boundary: exempt
 		"walltime/cmd/tool",     // entry point: exempt
 	)
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc, "hotalloc/hot")
+}
+
+func TestCounterFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CounterFlow, "counterflow/missing")
+}
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SeedFlow, "seedflow/sim")
 }
 
 func TestSnapshotComplete(t *testing.T) {
@@ -44,7 +58,7 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs go list -export over the whole module")
 	}
-	pkgs, err := analysis.Load("../..", []string{"./internal/..."})
+	pkgs, err := analysis.Load("../..", []string{"./internal/...", "./cmd/..."})
 	if err != nil {
 		t.Fatalf("loading repository packages: %v", err)
 	}
@@ -54,5 +68,36 @@ func TestRepoIsClean(t *testing.T) {
 	diags := analysis.Run(pkgs, analysis.Analyzers())
 	for _, d := range diags {
 		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestHotAllocAgreesWithZeroAllocGate ties the static allocation gate to the
+// dynamic one: hotalloc over the repository must be clean exactly when the
+// runtime benchmark gate (pipeline's TestEngineStepZeroAlloc) passes. If the
+// two ever disagree, either the analyzer has a hole (static clean, dynamic
+// fails) or it over-approximates an idiom the hot path legitimately uses
+// (static findings, dynamic passes).
+func TestHotAllocAgreesWithZeroAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export and a child go test")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./internal/..."})
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{analysis.HotAlloc})
+	staticClean := len(diags) == 0
+
+	cmd := exec.Command("go", "test", "-count=1", "-run", "TestEngineStepZeroAlloc", "./internal/pipeline")
+	cmd.Dir = "../.."
+	out, runErr := cmd.CombinedOutput()
+	dynamicClean := runErr == nil
+
+	if staticClean != dynamicClean {
+		for _, d := range diags {
+			t.Logf("hotalloc: %s", d)
+		}
+		t.Fatalf("static and dynamic gates disagree: hotalloc clean=%v, TestEngineStepZeroAlloc pass=%v\n%s",
+			staticClean, dynamicClean, out)
 	}
 }

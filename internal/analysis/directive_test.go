@@ -108,7 +108,7 @@ func TestDiagnosticString(t *testing.T) {
 
 func TestAnalyzersSuite(t *testing.T) {
 	all := analysis.Analyzers()
-	want := []string{"maporder", "walltime", "snapshotcomplete", "nogoroutine"}
+	want := []string{"maporder", "walltime", "snapshotcomplete", "nogoroutine", "hotalloc", "counterflow", "seedflow"}
 	if len(all) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(all), len(want))
 	}
@@ -116,8 +116,11 @@ func TestAnalyzersSuite(t *testing.T) {
 		if a.Name != want[i] {
 			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
 		}
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q missing Doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunSuite == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunSuite", a.Name)
 		}
 	}
 }

@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc statically pins the zero-allocation hot path: no function
+// reachable from a //detlint:hot root may contain an allocating construct.
+// This turns PR 4's dynamic gate (TestEngineStepZeroAlloc, one benchmark over
+// one configuration) into a compile-time property of every configuration.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: `flag allocation shapes reachable from //detlint:hot roots
+
+A function marked //detlint:hot <reason> is a hot-path root (the per-cycle
+pipeline step, cache/TLB/predictor probes). Every function reachable from a
+root through static calls is checked for: make/new, slice and map composite
+literals, address-taken composite literals, growing append to anything that
+is not amortized scratch (a struct field, pointer-deref storage, or a local
+resliced from such storage — the e.fpQ / s.entries[:0] idioms), closures
+except those passed directly to another suite function, string concatenation
+and string<->[]byte conversions, fmt calls, and interface boxing at call
+argument positions. Calls through interface values are a boundary, not an
+edge — the pipeline Feed interface is exactly the engine/kernel line the
+dynamic gate measures — but boxing into such a call is still flagged at the
+call site. Arguments of panic(...) are exempt (crash paths never execute on
+the measured path). Suppress a deliberate, amortized allocation with
+//detlint:ignore hotalloc <reason>.`,
+	RunSuite: runHotAlloc,
+}
+
+func runHotAlloc(pass *SuitePass) error {
+	g := pass.Suite.Graph()
+	parent := g.ReachableFrom(g.HotRoots())
+	for _, key := range g.Order {
+		if _, ok := parent[key]; !ok {
+			continue
+		}
+		node := g.Funcs[key]
+		if node.Decl.Body == nil {
+			continue
+		}
+		checkHotFunc(pass, g, parent, node)
+	}
+	return nil
+}
+
+// checkHotFunc reports every allocation shape in one hot-reachable function.
+func checkHotFunc(pass *SuitePass, g *CallGraph, parent map[string]string, node *FuncNode) {
+	pkg := node.Pkg
+	chain := g.CallChain(parent, node.Key)
+	report := func(pos token.Pos, format string, args ...any) {
+		args = append(args, chain)
+		pass.Reportf(pkg.Fset, pos, format+" on hot path (%s); restructure to engine-owned scratch, or annotate //detlint:ignore hotalloc <reason>", args...)
+	}
+	scratch := scratchLocals(pkg, node.Decl)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinSuite(pkg, n.Fun, "panic") {
+				return false // crash path: formatting there never runs hot
+			}
+			checkHotCall(pass, pkg, g, n, report)
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			// A literal passed directly to another function in the suite does
+			// not escape there (the suite's own hot functions never store
+			// their func parameters); anything else must be assumed heap.
+			if !funcLitStaysLocal(pkg, g, n) {
+				report(n.Pos(), "closure may be heap-allocated")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pkg.Info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(pkg, n, scratch, report)
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+}
+
+// checkHotCall flags allocating calls and interface boxing at argument
+// positions.
+func checkHotCall(pass *SuitePass, pkg *Package, g *CallGraph, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	fun := unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isB := pkg.Info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	// Conversions: string<->[]byte/[]rune copy their operand.
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pkg.Info.TypeOf(call.Args[0])
+		if stringByteConversion(to, from) {
+			report(call.Pos(), "string/byte-slice conversion allocates")
+		}
+		if isInterface(to) && from != nil && !isInterface(from) && !isUntypedNil(from) {
+			report(call.Pos(), "conversion boxes %s into interface", from.String())
+		}
+		return
+	}
+
+	// fmt calls allocate for formatting regardless of arguments.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if x, ok := unparen(sel.X).(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(call.Pos(), "fmt.%s call allocates", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Interface boxing at the argument positions of ordinary calls.
+	sig, ok := pkg.Info.TypeOf(fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		p := paramTypeAt(sig, i)
+		if p == nil || !isInterface(p) {
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil || isInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		report(arg.Pos(), "argument boxes %s into interface parameter", at.String())
+	}
+}
+
+// checkHotAssign flags growing appends to targets that are not amortized
+// scratch, and string +=.
+func checkHotAssign(pkg *Package, as *ast.AssignStmt, scratch map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isStringType(pkg.Info.TypeOf(as.Lhs[0])) {
+		report(as.Pos(), "string += allocates")
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinSuite(pkg, call.Fun, "append") {
+			continue
+		}
+		if appendTargetIsScratch(pkg, lhs, scratch) {
+			continue
+		}
+		report(lhs.Pos(), "append grows %s, which is not amortized scratch,", exprText(lhs))
+	}
+}
+
+// scratchLocals returns the local variables of fd that alias long-lived
+// storage: anywhere in the body they are assigned a reslice expression or an
+// expression rooted in a selector/index/deref chain (struct fields, pointer
+// params). Appending to such a local is amortized growth of caller-owned
+// backing storage — the mshr purge / StoreBuffer.Push compaction idiom.
+func scratchLocals(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := objOf(pkg, id)
+			if obj == nil || !nonLocalStorageExpr(unparen(as.Rhs[i])) {
+				continue
+			}
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// nonLocalStorageExpr reports whether e denotes storage owned by something
+// longer-lived than the current frame: any reslice, or a selector / index /
+// dereference chain.
+func nonLocalStorageExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return nonLocalStorageExpr(unparen(e.X))
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// appendTargetIsScratch reports whether the assignment target of an append is
+// amortized scratch: non-local storage itself, or a local known to alias it.
+func appendTargetIsScratch(pkg *Package, lhs ast.Expr, scratch map[types.Object]bool) bool {
+	lhs = unparen(lhs)
+	if nonLocalStorageExpr(lhs) {
+		return true
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		return scratch[objOf(pkg, id)]
+	}
+	return false
+}
+
+// funcLitStaysLocal reports whether lit is the direct argument of a call to a
+// function declared in the suite (which our hot functions never store).
+func funcLitStaysLocal(pkg *Package, g *CallGraph, lit *ast.FuncLit) bool {
+	for _, file := range pkg.Files {
+		if file.Pos() > lit.Pos() || lit.Pos() > file.End() {
+			continue
+		}
+		parents := parentMap(file)
+		p, ok := parents[lit].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		for _, arg := range p.Args {
+			if unparen(arg) == lit {
+				for _, k := range calleeKeys(pkg, p) {
+					if g.Funcs[k] != nil {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// calleeKeys resolves the static callee keys of one call expression.
+func calleeKeys(pkg *Package, call *ast.CallExpr) []string {
+	var out []string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			out = append(out, funcKey(fn))
+		}
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[fun]; sel != nil {
+			if sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					out = append(out, funcKey(fn))
+				}
+			}
+		} else if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			out = append(out, funcKey(fn))
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------ type helpers
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringByteConversion reports whether a conversion between to and from
+// copies its operand (string <-> []byte / []rune).
+func stringByteConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// paramTypeAt returns the type of parameter i of sig, expanding the variadic
+// tail, or nil when i is out of range.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		s, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil // append-style: already a slice
+		}
+		return s.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// isBuiltinSuite is isBuiltin for suite passes (no *Pass at hand).
+func isBuiltinSuite(pkg *Package, fun ast.Expr, name string) bool {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// objOf resolves an identifier against a package's uses/defs.
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// exprText renders a short source form without a *Pass.
+func exprText(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	default:
+		return "expression"
+	}
+}

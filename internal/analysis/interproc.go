@@ -1,0 +1,335 @@
+// Interprocedural scaffolding for the suite-level analyzers (hotalloc,
+// counterflow, seedflow): a call graph over every function declared in the
+// analyzed packages, plus the //detlint:hot root directive.
+//
+// The graph is deliberately modest — exactly what the three contract
+// analyzers need and no more:
+//
+//   - Nodes are function and method declarations in the analyzed packages.
+//     Function literals are attributed to their enclosing declaration (a
+//     closure created by a hot function runs on the hot path until proven
+//     otherwise).
+//   - Edges are static calls: direct calls to package-level functions
+//     (including dot-imported and package-qualified ones) and method calls
+//     through concrete receivers. Cross-package edges resolve by a stable
+//     (package path, receiver, name) key, because each package is
+//     type-checked separately and sees its dependencies through export data
+//     — the *types.Func identities differ between the importing and the
+//     defining package even though they name the same function.
+//   - Calls through interface values are a boundary, not an edge. This is a
+//     feature: the pipeline's Feed interface is exactly the line between the
+//     zero-alloc engine and the kernel, and the dynamic allocation gate
+//     (TestEngineStepZeroAlloc) measures the same side of it. Boxing at
+//     such a boundary is still visible to hotalloc at the call site.
+//
+// A root is marked in source:
+//
+//	//detlint:hot <why this path must not allocate>
+//
+// on the line directly above (or the last line of the doc comment of) a
+// function declaration. The reason is mandatory and a directive that does
+// not attach to a function declaration is itself reported, mirroring the
+// //detlint:ignore rules, so hot roots can never rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Suite gives suite-level analyzers every package of one Run invocation at
+// once, plus the shared call graph.
+type Suite struct {
+	Pkgs []*Package
+
+	graph *CallGraph
+}
+
+// A SuitePass provides one suite-level analyzer with the Suite and a
+// diagnostic sink.
+type SuitePass struct {
+	Analyzer *Analyzer
+	Suite    *Suite
+
+	dirs  fileDirectives
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, resolved through fset (positions are
+// fset-relative, and every package of one Load shares its fset — use the
+// owning package's).
+func (p *SuitePass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Ignored reports whether an ignore directive for this analyzer covers pos
+// (same line or the line above), for declaration-level exemptions.
+func (p *SuitePass) Ignored(fset *token.FileSet, pos token.Pos) bool {
+	return p.dirs.covers(p.Analyzer.Name, fset.Position(pos))
+}
+
+// ------------------------------------------------------------- call graph
+
+// A FuncNode is one function or method declaration in the suite.
+type FuncNode struct {
+	// Key is the stable cross-package identity (see funcKey).
+	Key string
+	// Obj is the source-checked function object.
+	Obj *types.Func
+	// Decl is the declaration; Decl.Body may be nil (assembly stubs).
+	Decl *ast.FuncDecl
+	// Pkg is the package declaring the function.
+	Pkg *Package
+	// Calls are the callee keys of every static call in the body, deduped,
+	// in source order. Keys without a FuncNode are outside the suite
+	// (standard library, interface methods) — boundaries, not edges.
+	Calls []string
+	// HotReason is non-empty when a //detlint:hot directive marks the
+	// function as a hot-path root.
+	HotReason string
+}
+
+// A CallGraph indexes the suite's function declarations.
+type CallGraph struct {
+	// Funcs maps key → node.
+	Funcs map[string]*FuncNode
+	// Order lists keys deterministically (package path, then file position).
+	Order []string
+}
+
+// Graph builds (once) and returns the suite call graph.
+func (s *Suite) Graph() *CallGraph {
+	if s.graph == nil {
+		s.graph = buildCallGraph(s.Pkgs)
+	}
+	return s.graph
+}
+
+// funcKey returns the stable identity of fn across packages: the defining
+// package path plus receiver type (for methods) plus name. Works identically
+// for source-checked objects and objects materialized from export data.
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if name := namedNameOf(sig.Recv().Type()); name != "" {
+			return pkg + ".(" + name + ")." + fn.Name()
+		}
+		// Interface methods and weird receivers: include the full receiver
+		// type string so distinct methods never collide.
+		return pkg + ".(" + sig.Recv().Type().String() + ")." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// namedNameOf unwraps pointers and returns the named type's bare name.
+func namedNameOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// buildCallGraph assembles nodes and static edges for every declaration.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: map[string]*FuncNode{}}
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{
+					Key:       funcKey(obj),
+					Obj:       obj,
+					Decl:      fd,
+					Pkg:       pkg,
+					HotReason: hotReasonFor(pkg.Fset, fd, dirs),
+				}
+				node.Calls = staticCallees(pkg, fd)
+				g.Funcs[node.Key] = node
+				g.Order = append(g.Order, node.Key)
+			}
+		}
+	}
+	sort.Strings(g.Order)
+	return g
+}
+
+// hotReasonFor returns the reason of a //detlint:hot directive attached to
+// fd (on the declaration line or the line directly above it, which is where
+// the last line of a doc comment sits), or "".
+func hotReasonFor(fset *token.FileSet, fd *ast.FuncDecl, dirs fileDirectives) string {
+	pos := fset.Position(fd.Pos())
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range dirs.hotsByLine(pos.Filename, line) {
+			if d.reason != "" {
+				return d.reason
+			}
+		}
+	}
+	return ""
+}
+
+// staticCallees extracts the callee keys of every static call in fd's body
+// (function literals included), deduped in source order.
+func staticCallees(pkg *Package, fd *ast.FuncDecl) []string {
+	if fd.Body == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	add := func(fn *types.Func) {
+		k := funcKey(fn)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+				add(fn)
+			}
+		case *ast.SelectorExpr:
+			if sel := pkg.Info.Selections[fun]; sel != nil {
+				if sel.Kind() == types.MethodVal {
+					if fn, ok := sel.Obj().(*types.Func); ok {
+						add(fn)
+					}
+				}
+				break
+			}
+			// No selection recorded: package-qualified function (pkg.F).
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				add(fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// HotRoots returns the //detlint:hot-annotated nodes in deterministic order.
+func (g *CallGraph) HotRoots() []*FuncNode {
+	var roots []*FuncNode
+	for _, k := range g.Order {
+		if n := g.Funcs[k]; n.HotReason != "" {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// ReachableFrom walks static edges from the given roots and returns, for
+// every reached node key, the key of the node it was first reached from
+// (roots map to ""). The traversal order is deterministic: breadth-first
+// over the sorted root list and each node's source-order callee list.
+func (g *CallGraph) ReachableFrom(roots []*FuncNode) map[string]string {
+	parent := map[string]string{}
+	var queue []string
+	for _, r := range roots {
+		if _, ok := parent[r.Key]; !ok {
+			parent[r.Key] = ""
+			queue = append(queue, r.Key)
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		node := g.Funcs[k]
+		if node == nil {
+			continue
+		}
+		for _, callee := range node.Calls {
+			if _, ok := parent[callee]; ok {
+				continue
+			}
+			if g.Funcs[callee] == nil {
+				continue // outside the suite: boundary
+			}
+			parent[callee] = k
+			queue = append(queue, callee)
+		}
+	}
+	return parent
+}
+
+// CallChain renders the path root → … → key through the parent map, for
+// diagnostics ("step → issue → memIssue").
+func (g *CallGraph) CallChain(parent map[string]string, key string) string {
+	var chain []string
+	for k := key; k != ""; k = parent[k] {
+		node := g.Funcs[k]
+		if node == nil {
+			break
+		}
+		chain = append(chain, shortFuncName(node))
+		if parent[k] == "" {
+			break
+		}
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " → ")
+}
+
+// shortFuncName renders a node as pkgname.Recv.Name for diagnostics.
+func shortFuncName(n *FuncNode) string {
+	name := n.Obj.Name()
+	if sig, ok := n.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if recv := namedNameOf(sig.Recv().Type()); recv != "" {
+			name = recv + "." + name
+		}
+	}
+	return n.Pkg.Types.Name() + "." + name
+}
+
+// ------------------------------------------------------------- field keys
+
+// fieldKeyOf returns a stable cross-package identity for the struct field
+// accessed by a selection: defining package path + owning named type + field
+// name, derived from the selection's receiver so the importing and defining
+// packages compute the same key. ok is false for non-field selections or
+// receivers without a named type.
+func fieldKeyOf(sel *types.Selection) (string, bool) {
+	if sel.Kind() != types.FieldVal {
+		return "", false
+	}
+	f, ok := sel.Obj().(*types.Var)
+	if !ok || f.Pkg() == nil {
+		return "", false
+	}
+	owner := namedNameOf(sel.Recv())
+	if owner == "" {
+		return "", false
+	}
+	return f.Pkg().Path() + "." + owner + "." + f.Name(), true
+}

@@ -45,6 +45,7 @@ type effect struct {
 }
 
 func runMapOrder(pass *Pass) error {
+	sums := writeSummaries(pass)
 	for _, file := range pass.Files {
 		blocks := stmtBlocks(file)
 		parents := parentMap(file)
@@ -53,7 +54,7 @@ func runMapOrder(pass *Pass) error {
 			if !ok || !isMapType(pass, rs.X) {
 				return true
 			}
-			effects := collectEffects(pass, rs)
+			effects := collectEffects(pass, rs, sums)
 			effects = suppressSortedAppends(pass, rs, effects, blocks, parents)
 			for _, e := range effects {
 				pass.Reportf(e.pos, "%s inside range over map %s is iteration-order dependent; iterate sorted keys, or annotate //detlint:ignore maporder <reason> if provably commutative", e.msg, exprString(pass, rs.X))
@@ -104,7 +105,7 @@ func stmtBlocks(file *ast.File) map[ast.Stmt]stmtListPos {
 
 // collectEffects walks the body of a map range and returns every
 // order-sensitive operation.
-func collectEffects(pass *Pass, rs *ast.RangeStmt) []effect {
+func collectEffects(pass *Pass, rs *ast.RangeStmt, sums map[*types.Func]*writeSummary) []effect {
 	local := localObjects(pass, rs)
 	isLocal := func(obj types.Object) bool {
 		if obj == nil {
@@ -140,7 +141,7 @@ func collectEffects(pass *Pass, rs *ast.RangeStmt) []effect {
 				effects = append(effects, e)
 			}
 		case *ast.CallExpr:
-			if e, bad := classifyCall(pass, n, isLocal); bad {
+			if e, bad := classifyCall(pass, n, isLocal, sums); bad {
 				effects = append(effects, e)
 			}
 		case *ast.SendStmt:
@@ -241,10 +242,37 @@ func commutativeAssign(pass *Pass, lhs ast.Expr, tok token.Token) bool {
 }
 
 // classifyCall flags calls that can observe iteration order: method calls on
-// receivers declared outside the loop (event emission, collection mutation).
-// Calls to package-level functions and builtins other than append are not
-// modeled — a known precision limit documented in ANALYSIS.md.
-func classifyCall(pass *Pass, call *ast.CallExpr, isLocal func(types.Object) bool) (effect, bool) {
+// receivers declared outside the loop (event emission, collection mutation),
+// and calls to same-package package-level functions whose write summary says
+// they mutate package-level state or write through a pointer argument rooted
+// outside the loop. Cross-package function calls (sort.Slice, slices.Sort)
+// are effect-free by assumption — they are how the sorted-keys idiom is
+// spelled.
+func classifyCall(pass *Pass, call *ast.CallExpr, isLocal func(types.Object) bool, sums map[*types.Func]*writeSummary) (effect, bool) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok {
+			return effect{}, false
+		}
+		sum := sums[fn]
+		if sum == nil {
+			return effect{}, false
+		}
+		if sum.writesPkgVars {
+			return effect{kind: effectCall, pos: call.Pos(), msg: "call to " + fn.Name() + ", which writes package-level state,"}, true
+		}
+		for i, arg := range call.Args {
+			if !sum.writesParam[i] {
+				continue
+			}
+			root := rootIdent(arg)
+			if root == nil || isLocal(objectOf(pass, root)) {
+				continue
+			}
+			return effect{kind: effectCall, pos: call.Pos(), msg: "call to " + fn.Name() + ", which writes through its argument " + exprString(pass, arg) + ","}, true
+		}
+		return effect{}, false
+	}
 	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return effect{}, false
@@ -388,6 +416,166 @@ func callStmt(s ast.Stmt) (*ast.CallExpr, bool) {
 	}
 	call, ok := unparen(es.X).(*ast.CallExpr)
 	return call, ok
+}
+
+// -------------------------------------------------------- write summaries
+
+// writeSummary records what a package-level function mutates beyond its own
+// frame: package-level variables (directly or through same-package callees),
+// and which of its parameters it writes through (pointer deref, field set,
+// element store).
+type writeSummary struct {
+	writesPkgVars bool
+	writesParam   map[int]bool
+}
+
+// writeSummaries computes a summary for every package-level function of the
+// package, propagating effects across same-package calls to a fixed point.
+// This is the interprocedural half of maporder: a map-range body that calls
+// emit(k) is exactly as order-dependent as one that appends to the package
+// var emit writes.
+func writeSummaries(pass *Pass) map[*types.Func]*writeSummary {
+	type fnDecl struct {
+		fn     *types.Func
+		decl   *ast.FuncDecl
+		params []types.Object // in declaration order
+	}
+	var fns []fnDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var params []types.Object
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					params = append(params, pass.TypesInfo.Defs[name])
+				}
+			}
+			fns = append(fns, fnDecl{fn: fn, decl: fd, params: params})
+		}
+	}
+	sums := map[*types.Func]*writeSummary{}
+	paramIdx := map[*types.Func]map[types.Object]int{}
+	for _, f := range fns {
+		sums[f.fn] = &writeSummary{writesParam: map[int]bool{}}
+		idx := map[types.Object]int{}
+		for i, p := range f.params {
+			if p != nil {
+				idx[p] = i
+			}
+		}
+		paramIdx[f.fn] = idx
+	}
+
+	// isPkgVar: a variable owned by package scope.
+	isPkgVar := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	}
+
+	// One propagation round; returns whether anything changed.
+	round := func() bool {
+		changed := false
+		for _, f := range fns {
+			sum := sums[f.fn]
+			idx := paramIdx[f.fn]
+			noteWrite := func(lhs ast.Expr) {
+				root := rootIdent(lhs)
+				if root == nil {
+					return
+				}
+				obj := objectOf(pass, root)
+				if obj == nil {
+					return
+				}
+				switch {
+				case isPkgVar(obj):
+					if !sum.writesPkgVars {
+						sum.writesPkgVars = true
+						changed = true
+					}
+				default:
+					// Writing through a parameter is caller-visible only when
+					// the write goes through indirection (deref, field,
+					// element) — rebinding the parameter itself is not.
+					i, isParam := idx[obj]
+					if !isParam {
+						return
+					}
+					if _, direct := unparen(lhs).(*ast.Ident); direct {
+						return
+					}
+					if !sum.writesParam[i] {
+						sum.writesParam[i] = true
+						changed = true
+					}
+				}
+			}
+			ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						noteWrite(lhs)
+					}
+				case *ast.IncDecStmt:
+					noteWrite(n.X)
+				case *ast.CallExpr:
+					id, ok := unparen(n.Fun).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+					if !ok {
+						return true
+					}
+					csum := sums[callee]
+					if csum == nil {
+						return true
+					}
+					if csum.writesPkgVars && !sum.writesPkgVars {
+						sum.writesPkgVars = true
+						changed = true
+					}
+					for ai, arg := range n.Args {
+						if !csum.writesParam[ai] {
+							continue
+						}
+						root := rootIdent(arg)
+						if root == nil {
+							continue
+						}
+						obj := objectOf(pass, root)
+						switch {
+						case isPkgVar(obj):
+							if !sum.writesPkgVars {
+								sum.writesPkgVars = true
+								changed = true
+							}
+						default:
+							if i, isParam := idx[obj]; isParam && !sum.writesParam[i] {
+								sum.writesParam[i] = true
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return changed
+	}
+	for round() {
+	}
+	return sums
 }
 
 // ------------------------------------------------------------ small helpers

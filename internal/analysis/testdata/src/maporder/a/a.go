@@ -133,6 +133,72 @@ func send(m map[int]int, ch chan int) {
 	}
 }
 
+// ---- interprocedural: package-level helpers called from loop bodies ----
+
+var eventLog []int
+
+// record writes package-level state.
+func record(v int) { eventLog = append(eventLog, v) }
+
+// recordVia reaches the package var only through record; the write summary
+// propagates across the same-package call.
+func recordVia(v int) { record(v) }
+
+// addTo writes through its first argument.
+func addTo(dst *[]int, v int) { *dst = append(*dst, v) }
+
+// pureSum mutates nothing beyond its own frame.
+func pureSum(a, b int) int { return a + b }
+
+// rebind only rebinds its parameter, which the caller never observes.
+func rebind(s []int) { s = nil; sinkSlice(s) }
+
+func sinkSlice([]int) {}
+
+func viaPkgWriter(m map[int]int) {
+	for _, v := range m {
+		record(v) // want `call to record, which writes package-level state,`
+	}
+}
+
+func viaTransitiveWriter(m map[int]int) {
+	for _, v := range m {
+		recordVia(v) // want `call to recordVia, which writes package-level state,`
+	}
+}
+
+func viaPtrArg(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		addTo(&out, v) // want `call to addTo, which writes through its argument`
+	}
+	return out
+}
+
+// viaPtrArgLocal writes into loop-local storage: order cannot leak.
+func viaPtrArgLocal(m map[int]int) {
+	for _, v := range m {
+		var tmp []int
+		addTo(&tmp, v)
+		sinkSlice(tmp)
+	}
+}
+
+// pureCalls and rebindCall stay quiet: no summary reports a write.
+func pureCalls(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += pureSum(v, 1)
+	}
+	return n
+}
+
+func rebindCall(m map[int]int, s []int) {
+	for range m {
+		rebind(s)
+	}
+}
+
 // ignored exercises the //detlint:ignore suppression path.
 func ignored(m map[string]int) string {
 	last := ""

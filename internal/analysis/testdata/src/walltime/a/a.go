@@ -25,6 +25,19 @@ func draw() int {
 	return rand.Intn(6) // want `math/rand\.Intn uses the process-global random source`
 }
 
+// Timers read the wall clock at construction and fire on it thereafter.
+func timers() {
+	_ = time.After(time.Second)     // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)  // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+// Shuffle and Perm draw from the process-global source like Intn.
+func reorder(xs []int) []int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle uses the process-global random source`
+	return rand.Perm(len(xs))                                            // want `math/rand\.Perm uses the process-global random source`
+}
+
 // Durations and time constants do not read the clock.
 func budget() time.Duration {
 	return 3 * time.Second

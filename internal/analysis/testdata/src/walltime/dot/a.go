@@ -1,0 +1,19 @@
+// Fixture for the walltime analyzer's dot-import fallback: wall-clock and
+// global-rand identifiers are flagged even without a package qualifier.
+package dot
+
+import . "time"
+
+func now() int64 {
+	t := Now() // want `time\.Now \(dot import\) reads the wall clock`
+	return t.Unix()
+}
+
+func timer() {
+	_ = After(Second) // want `time\.After \(dot import\) reads the wall clock`
+}
+
+// Durations and time constants through the dot import do not read the clock.
+func budget() Duration {
+	return 3 * Second
+}

@@ -1,0 +1,11 @@
+package dot
+
+import . "math/rand"
+
+func perm() []int {
+	return Perm(8) // want `math/rand\.Perm \(dot import\) uses the process-global random source`
+}
+
+func shuffle(xs []int) {
+	Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle \(dot import\) uses the process-global random source`
+}

@@ -43,26 +43,47 @@ func runWallTime(pass *Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
+		// handled marks selector Sel idents so the dot-import fallback below
+		// does not re-report the qualified form at a second position.
+		handled := map[*ast.Ident]bool{}
 		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pkgIdent, ok := unparen(sel.X).(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
-			if !ok {
-				return true
-			}
-			switch path := pn.Imported().Path(); path {
-			case "time":
-				if wallClockFuncs[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation time is the cycle counter (deterministic replay contract, see ANALYSIS.md)", sel.Sel.Name)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				handled[n.Sel] = true
+				pkgIdent, ok := unparen(n.X).(*ast.Ident)
+				if !ok {
+					return true
 				}
-			case "math/rand", "math/rand/v2":
-				pass.Reportf(sel.Pos(), "%s.%s uses the process-global random source; use a seeded repro/internal/rng stream instead", path, sel.Sel.Name)
+				pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch path := pn.Imported().Path(); path {
+				case "time":
+					if wallClockFuncs[n.Sel.Name] {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; simulation time is the cycle counter (deterministic replay contract, see ANALYSIS.md)", n.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(n.Pos(), "%s.%s uses the process-global random source; use a seeded repro/internal/rng stream instead", path, n.Sel.Name)
+				}
+			case *ast.Ident:
+				// Dot-imported references (`import . "time"; Now()`) never go
+				// through a SelectorExpr; resolve the object directly.
+				if handled[n] {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[n].(*types.Func)
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				switch path := obj.Pkg().Path(); path {
+				case "time":
+					if wallClockFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(), "time.%s (dot import) reads the wall clock; simulation time is the cycle counter (deterministic replay contract, see ANALYSIS.md)", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(n.Pos(), "%s.%s (dot import) uses the process-global random source; use a seeded repro/internal/rng stream instead", path, obj.Name())
+				}
 			}
 			return true
 		})

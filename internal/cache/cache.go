@@ -48,7 +48,7 @@ type Cache struct {
 	cfg       Config //detlint:ignore snapshotcomplete configuration fixed at construction
 	sets      int    //detlint:ignore snapshotcomplete geometry derived from cfg at construction
 	lines     []line // sets × ways, row-major
-	tick      uint64
+	tick      uint64 //detlint:ignore counterflow LRU clock, timekeeping not a metric
 	tracker   *conflict.Tracker
 	lineShift uint //detlint:ignore snapshotcomplete geometry derived from cfg at construction
 

@@ -216,9 +216,9 @@ type Kernel struct {
 	feeds   []ctxFeed
 
 	nextASN   uint16
-	asnEpoch  uint64
+	asnEpoch  uint64 //detlint:ignore counterflow ASN generation stamp, allocator state not a metric
 	nextTID   uint32
-	nextPID   uint64
+	nextPID   uint64 //detlint:ignore counterflow PID allocator bump pointer, not a metric
 	rrIntCtx  int
 	lastTick  uint64
 	interrupt []int //detlint:ignore snapshotcomplete scratch buffer returned by Cycle, carries no state across cycles

@@ -98,7 +98,7 @@ type netState struct {
 	pending  []Frame // frames awaiting netisr processing
 	now      uint64
 	// ticks counts 10 ms network ticks; idle timers are expressed in it.
-	ticks uint64
+	ticks uint64 //detlint:ignore counterflow tick clock for idle timers, not a metric
 	// Delivered counts frames fully processed by netisr.
 	Delivered uint64
 	// Dropped counts frames for unknown connections or discarded as
@@ -169,6 +169,13 @@ func (ns *netState) freeSocket(s *socket) {
 
 // SetNIC attaches the network simulator.
 func (k *Kernel) SetNIC(n NIC) { k.net.nic = n }
+
+// NICStats reports the network device's frame counters — delivered to the
+// protocol stack by netisr, and dropped (unknown connection or corrupt) —
+// for report snapshots.
+func (k *Kernel) NICStats() (delivered, dropped uint64) {
+	return k.net.Delivered, k.net.Dropped
+}
 
 // ConnOf returns the connection id behind a socket file descriptor (-1 if
 // unknown); workload models use it to ask the client driver what a request

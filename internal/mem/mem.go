@@ -144,7 +144,7 @@ type Memory struct {
 	shared []struct{ base, end uint64 }
 
 	frames     uint64 //detlint:ignore snapshotcomplete geometry fixed at construction; Restore panics on mismatch
-	nextFrame  uint64 // bump pointer
+	nextFrame  uint64 //detlint:ignore counterflow frame allocator bump pointer, not a metric
 	free       []uint64
 	owners     []mapping // indexed by pfn: current owner, for reclaim
 	fifo       []uint64  // allocation order, for FIFO reclaim

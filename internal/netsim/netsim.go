@@ -131,7 +131,7 @@ type Network struct {
 	cfg     Config //detlint:ignore snapshotcomplete configuration fixed at construction
 	rng     *rng.Rand
 	clients []client
-	ticks   uint64
+	ticks   uint64 //detlint:ignore counterflow tick clock for timers and latency stamps, not a metric
 	nextID  int
 	files   map[int]int // conn -> requested file size
 

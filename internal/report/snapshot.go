@@ -89,6 +89,14 @@ type Snapshot struct {
 
 	OutstandingArea [3]uint64 // I, D, L2 (Little's-law numerators)
 
+	// Memory-system counters surfaced by the counterflow audit (previously
+	// counted but unreported).
+	Writebacks      [3]uint64 // I, D, L2 dirty evictions
+	BusTransactions uint64
+	SBPushed        uint64
+	SBDrained       uint64
+	SBFullStalls    uint64
+
 	// Kernel-side counters.
 	ContextSwitches uint64
 	Preemptions     uint64
@@ -101,11 +109,19 @@ type Snapshot struct {
 	ASNRecycles     uint64
 	ClockInterrupts uint64
 	NetInterrupts   uint64
+	IdleScheduled   uint64
+	SvcInstByRes    [5]uint64
+	LockContentions uint64
+	SpinInsts       uint64
+	DiskReads       uint64
+	NICDelivered    uint64
+	NICDropped      uint64
 
 	// Network-side counters (zero for SPECInt).
 	NetRequests  uint64
 	NetCompleted uint64
 	NetBytes     uint64
+	NetPerClass  [4]uint64
 
 	// Resilience counters (all zero with fault injection off).
 	NetRetransmits  uint64
@@ -116,6 +132,9 @@ type Snapshot struct {
 	FramesDelayed   uint64
 	WorkerCrashes   uint64
 	WorkerRespawns  uint64
+	// FaultCrashInjections is the injector-side count of scheduled worker
+	// deaths (WorkerCrashes is the kernel-side count of deaths taken).
+	FaultCrashInjections uint64
 
 	// Overload counters (all zero unless the accept backlog binds, the
 	// idle reaper runs, or the overload fault domain is on).
@@ -187,6 +206,17 @@ func Take(sim *core.Simulator) Snapshot {
 		uint64(e.Hier.AvgOutstanding("d", 1)),
 		uint64(e.Hier.AvgOutstanding("l2", 1)),
 	}
+	s.Writebacks = [3]uint64{e.Hier.L1I.Writebacks, e.Hier.L1D.Writebacks, e.Hier.L2.Writebacks}
+	s.BusTransactions = e.Hier.BusTransactions
+	s.SBPushed = e.SB.Pushed
+	s.SBDrained = e.SB.Drained
+	s.SBFullStalls = e.SB.FullStalls
+	s.IdleScheduled = k.IdleScheduled
+	s.SvcInstByRes = k.SvcInstByRes
+	s.LockContentions = k.LockContentions
+	s.SpinInsts = k.SpinInsts
+	s.DiskReads = k.DiskReads
+	s.NICDelivered, s.NICDropped = k.NICStats()
 	if sim.Net != nil {
 		s.NetRequests = sim.Net.Requests
 		s.NetCompleted = sim.Net.Completed
@@ -194,6 +224,7 @@ func Take(sim *core.Simulator) Snapshot {
 		s.NetRetransmits = sim.Net.Retransmits
 		s.NetAborted = sim.Net.Aborted
 		s.NetResets = sim.Net.Resets
+		s.NetPerClass = sim.Net.PerClass
 		s.Latency = sim.Net.Latency
 	}
 	s.WorkerCrashes = k.WorkerCrashes
@@ -219,6 +250,7 @@ func Take(sim *core.Simulator) Snapshot {
 		s.FramesCorrupted = sim.Faults.Corrupted
 		s.FramesDelayed = sim.Faults.Delayed
 		s.Squeezes = sim.Faults.Squeezes
+		s.FaultCrashInjections = sim.Faults.Crashes
 	}
 	return s
 }
@@ -271,6 +303,26 @@ func Delta(a, b Snapshot) Snapshot {
 	for i := range d.OutstandingArea {
 		d.OutstandingArea[i] = b.OutstandingArea[i] - a.OutstandingArea[i]
 	}
+	for i := range d.Writebacks {
+		d.Writebacks[i] = b.Writebacks[i] - a.Writebacks[i]
+	}
+	for i := range d.SvcInstByRes {
+		d.SvcInstByRes[i] = b.SvcInstByRes[i] - a.SvcInstByRes[i]
+	}
+	for i := range d.NetPerClass {
+		d.NetPerClass[i] = b.NetPerClass[i] - a.NetPerClass[i]
+	}
+	d.BusTransactions = b.BusTransactions - a.BusTransactions
+	d.SBPushed = b.SBPushed - a.SBPushed
+	d.SBDrained = b.SBDrained - a.SBDrained
+	d.SBFullStalls = b.SBFullStalls - a.SBFullStalls
+	d.IdleScheduled = b.IdleScheduled - a.IdleScheduled
+	d.LockContentions = b.LockContentions - a.LockContentions
+	d.SpinInsts = b.SpinInsts - a.SpinInsts
+	d.DiskReads = b.DiskReads - a.DiskReads
+	d.NICDelivered = b.NICDelivered - a.NICDelivered
+	d.NICDropped = b.NICDropped - a.NICDropped
+	d.FaultCrashInjections = b.FaultCrashInjections - a.FaultCrashInjections
 	d.ContextSwitches = b.ContextSwitches - a.ContextSwitches
 	d.Preemptions = b.Preemptions - a.Preemptions
 	d.MemAllocs = b.MemAllocs - a.MemAllocs
