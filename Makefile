@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race audit ckpt-smoke exhaust-smoke bench-smoke sample-smoke bench bench-diff run experiments
+.PHONY: check build vet lint test race audit ckpt-smoke exhaust-smoke bench-smoke sample-smoke bench bench-diff regen-bench run experiments
 
 # check is the full verification gate: compile, vet, the determinism linter,
 # the whole test suite, a fast race pass (Quick-scale simulations skip under
@@ -101,6 +101,18 @@ bench-diff:
 	$(GO) run ./cmd/benchjson -date $$(date +%F) < /tmp/bench-diff.out > /tmp/bench-diff.json
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCHDIFF_THRESHOLD) \
 		$$(ls BENCH_*.json | sort | tail -1) /tmp/bench-diff.json
+
+# regen-bench measures just the checkpoint-library figure regeneration
+# (BenchmarkFigureRegen) and gates its figureRegenSec metric against the
+# newest committed BENCH_<date>.json baseline — the fast CI check that the
+# library path's speedup over serial rendering has not rotted. The JSON goes
+# to /tmp so it can never be mistaken for a committed baseline.
+regen-bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkFigureRegen$$' -benchtime 1x . > /tmp/regen-bench.out
+	cat /tmp/regen-bench.out
+	$(GO) run ./cmd/benchjson -date $$(date +%F) < /tmp/regen-bench.out > /tmp/regen-bench.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCHDIFF_THRESHOLD) \
+		$$(ls BENCH_*.json | sort | tail -1) /tmp/regen-bench.json
 
 # run is a small demo simulation.
 run:

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -108,6 +109,38 @@ func BenchmarkAblationInterruptInterval(b *testing.B) { runExperiment(b, "ablati
 
 // BenchmarkAblationServerProcesses sweeps the Apache pool size.
 func BenchmarkAblationServerProcesses(b *testing.B) { runExperiment(b, "ablation-procs") }
+
+// BenchmarkFigureRegen measures regenerating all of Figures 1–7 from a warm
+// checkpoint library at the reporting scale (experiments.Full) — the
+// `cmd/experiments -windows-parallel` workflow. The one-time library build
+// is setup cost outside the timer; the figureRegenSec metric is the
+// wall-clock for a full warm regeneration, which `make bench-diff` gates so
+// the library path's speedup over serial rendering cannot silently rot.
+func BenchmarkFigureRegen(b *testing.B) {
+	figs := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+	sc := experiments.Full
+	sc.Sampling = experiments.WindowedSampling(sc)
+	dir := b.TempDir()
+	// Prime: builds the three configuration libraries and proves the render
+	// path works before the timer starts.
+	workers := runtime.GOMAXPROCS(0)
+	prime := experiments.NewWindowRunner(experiments.WindowedConfig{Dir: dir, Workers: workers})
+	if out := experiments.RenderWindowed(figs, sc, 1, prime); strings.Count(out, "################") != len(figs) {
+		b.Fatalf("priming render failed:\n%s", out)
+	}
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration drops the memoized window results,
+		// so every iteration restores and re-simulates each library window.
+		wr := experiments.NewWindowRunner(experiments.WindowedConfig{Dir: dir, Workers: workers})
+		out := experiments.RenderWindowed(figs, sc, 1, wr)
+		if len(out) == 0 {
+			b.Fatal("empty windowed render")
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "figureRegenSec")
+}
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (simulated
 // cycles per second) on the Apache workload — an engineering metric, not a

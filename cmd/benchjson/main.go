@@ -20,6 +20,9 @@
 // fail the diff, and benchmarks faster than -floor nanoseconds on both
 // sides are reported but not gated: at -benchtime 1x a sub-millisecond
 // measurement is dominated by scheduler and cache noise, not code changes.
+// The figureRegenSec metric (BenchmarkFigureRegen's checkpoint-library
+// figure-regeneration wall clock) is gated like ns/op, with its own
+// -regen-floor (default 0.05 s).
 package main
 
 import (
@@ -60,6 +63,7 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two artifacts: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 10, "with -diff, exit 1 if ns/op regresses by more than this percent")
 	floor := flag.Float64("floor", 1e6, "with -diff, ignore regressions when both sides run faster than this many ns/op (timing noise)")
+	regenFloor := flag.Float64("regen-floor", 0.05, "with -diff, ignore figureRegenSec regressions when both sides run faster than this many seconds (timing noise)")
 	flag.Parse()
 
 	if *diff {
@@ -67,7 +71,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(diffArtifacts(flag.Arg(0), flag.Arg(1), *threshold, *floor))
+		os.Exit(diffArtifacts(flag.Arg(0), flag.Arg(1), *threshold, *floor, *regenFloor))
 	}
 
 	doc := document{Date: *date}
@@ -105,9 +109,12 @@ func main() {
 }
 
 // diffArtifacts prints per-benchmark deltas between two artifacts and
-// returns the process exit code: 1 if any ns/op regression exceeds
-// threshold percent on a benchmark at or above the floor, 0 otherwise.
-func diffArtifacts(oldPath, newPath string, threshold, floor float64) int {
+// returns the process exit code: 1 if any gated metric regresses by more
+// than threshold percent, 0 otherwise. Two metrics are gated: ns/op on
+// benchmarks at or above floor nanoseconds, and figureRegenSec — the
+// checkpoint-library figure-regeneration wall clock — at or above
+// regenFloor seconds.
+func diffArtifacts(oldPath, newPath string, threshold, floor, regenFloor float64) int {
 	oldDoc, err := loadArtifact(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -153,8 +160,17 @@ func diffArtifacts(oldPath, newPath string, threshold, floor float64) int {
 			if unit == "ns/op" || !ook || ov == 0 {
 				continue
 			}
-			fmt.Printf("    %-56s %12.4g -> %12.4g %s  %+7.1f%%\n",
-				"", ov, nr.Metrics[unit], unit, 100*(nr.Metrics[unit]-ov)/ov)
+			upct := 100 * (nr.Metrics[unit] - ov) / ov
+			note := ""
+			// figureRegenSec is a gated metric like ns/op: it is the whole
+			// point of the checkpoint-library pipeline, so letting it creep
+			// would silently lose the speedup.
+			if unit == "figureRegenSec" && !(ov < regenFloor && nr.Metrics[unit] < regenFloor) && upct > threshold {
+				note = fmt.Sprintf("  REGRESSION (> %.0f%%)", threshold)
+				regressed = true
+			}
+			fmt.Printf("    %-56s %12.4g -> %12.4g %s  %+7.1f%%%s\n",
+				"", ov, nr.Metrics[unit], unit, upct, note)
 		}
 	}
 	for _, or := range oldDoc.Benchmarks {
@@ -163,7 +179,7 @@ func diffArtifacts(oldPath, newPath string, threshold, floor float64) int {
 		}
 	}
 	if regressed {
-		fmt.Printf("FAIL: at least one benchmark regressed by more than %.0f%% ns/op\n", threshold)
+		fmt.Printf("FAIL: at least one gated metric (ns/op or figureRegenSec) regressed by more than %.0f%%\n", threshold)
 		return 1
 	}
 	return 0

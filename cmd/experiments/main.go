@@ -7,6 +7,7 @@
 //	experiments -quick -json -audit 300000    # machine-readable, audited
 //	experiments -timeout 5m     # per-experiment budget, retry from checkpoint
 //	experiments -parallel 4     # worker pool; output identical to -parallel 1
+//	experiments -windows-parallel 4           # checkpoint-library regeneration
 //	experiments -quick -cpuprofile cpu.pprof  # profile the whole sweep
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -26,6 +28,12 @@ import (
 )
 
 func main() {
+	// The -window-job child protocol bypasses flag parsing entirely: the
+	// parent (this same binary, or a test harness) appends positional
+	// arguments the flag package would reject.
+	if len(os.Args) > 1 && os.Args[1] == "-window-job" {
+		os.Exit(experiments.WindowJobMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	// All paths return through here so profile-stopping defers run
 	// before the process exits.
 	os.Exit(run())
@@ -43,6 +51,8 @@ func run() int {
 		auditAt      = flag.Uint64("audit", 0, "run the invariant auditor every N cycles during each experiment (0 = off)")
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for independent (experiment, seed) jobs; results are ordered, so output is identical for any value")
 		sample       = flag.Bool("sample", false, "run simulations in sampled mode (fast-forward with warming between detailed windows); percentage metrics stay comparable, raw counters do not")
+		winParallel  = flag.Int("windows-parallel", 0, "regenerate from a checkpoint library with this many window jobs in parallel, each in its own OS process (0 = off; builds the library on first use)")
+		libraryDir   = flag.String("library", "", "checkpoint-library root for -windows-parallel (default: <tmpdir>/ossmt-library)")
 		samplePeriod = flag.Uint64("sample-period", 200_000, "cycles per sampling period (with -sample)")
 		sampleWindow = flag.Uint64("sample-window", 0, "detailed window per period in cycles (0 = period/10, with -sample)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -105,6 +115,31 @@ func run() int {
 	ids := experiments.IDs()
 	if *runID != "" {
 		ids = []string{*runID}
+	}
+
+	if *winParallel > 0 {
+		// Checkpoint-library regeneration: windows restore and run in
+		// parallel OS processes; experiment output is assembled serially in
+		// id order, so the bytes are identical for any worker count.
+		if !sc.Sampling.Enabled() {
+			sc.Sampling = experiments.WindowedSampling(sc)
+		}
+		dir := *libraryDir
+		if dir == "" {
+			dir = filepath.Join(os.TempDir(), "ossmt-library")
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		wr := experiments.NewWindowRunner(experiments.WindowedConfig{
+			Dir:     dir,
+			Workers: *winParallel,
+			Exec:    []string{exe, "-window-job"},
+		})
+		fmt.Print(experiments.RenderWindowed(ids, sc, *seed, wr))
+		return 0
 	}
 
 	// Supervision (timeout, audits) and JSON reporting share the

@@ -23,7 +23,7 @@ type Snapshot struct {
 	RAS         [][]uint64
 	BTB         []BTBSnap
 	Tick        uint64
-	Tracker     []conflict.TrackerEntry
+	Tracker     conflict.TrackerSnap
 	Lookups     [2]uint64
 	Mispredicts [2]uint64
 	BTBLookups  [2]uint64

@@ -160,6 +160,7 @@ func (c *Cache) Access(paddr uint64, ag conflict.Agent, write bool) bool {
 }
 
 // Probe reports residency without side effects.
+//detlint:hot read-only residency check, safe from any audit or model loop
 func (c *Cache) Probe(paddr uint64) bool {
 	la, set := c.locate(paddr)
 	for i := range set {

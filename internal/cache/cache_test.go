@@ -343,14 +343,64 @@ func BenchmarkCacheAccess(b *testing.B) {
 	}
 }
 
-// BenchmarkCacheProbe measures the read-only residency check.
+// BenchmarkCacheProbe measures the read-only residency check. The timer
+// reset matters: without it a b.N=1 round attributes the warming loop's
+// allocations to the probe, which is allocation-free.
 func BenchmarkCacheProbe(b *testing.B) {
 	c := New(Config{Name: "L1D", SizeBytes: 128 << 10, Ways: 2, LineShift: 6})
 	for a := uint64(0); a < 128<<10; a += 64 {
 		c.Access(a, u1, false)
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Probe(uint64(i) * 832 % (256 << 10))
+	}
+}
+
+// BenchmarkHierarchyProbe measures the three-level residency check.
+func BenchmarkHierarchyProbe(b *testing.B) {
+	h := NewHierarchy(DefaultHierConfig())
+	for a := uint64(0); a < 128<<10; a += 64 {
+		h.WarmD(a, u1, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Probe(uint64(i) * 832 % (256 << 10))
+	}
+}
+
+// TestHierarchyProbeDoesNotAllocate pins the zero-allocation property the
+// //detlint:hot annotation promises: probing from a per-cycle audit loop
+// must not create garbage.
+func TestHierarchyProbeDoesNotAllocate(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	for a := uint64(0); a < 64<<10; a += 64 {
+		h.WarmD(a, u1, a%128 == 0)
+		h.WarmI(a, u1)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		h.Probe(0x1000)
+		h.Probe(0xdead000)
+	})
+	if allocs != 0 {
+		t.Fatalf("Hierarchy.Probe allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestHierarchyProbeReportsResidency checks the probe against known fills.
+func TestHierarchyProbeReportsResidency(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	h.WarmD(0x4000, u1, false)
+	h.WarmI(0x8000, u1)
+	if l1i, l1d, l2 := h.Probe(0x4000); l1i || !l1d || !l2 {
+		t.Fatalf("Probe(0x4000) = (%v, %v, %v), want (false, true, true)", l1i, l1d, l2)
+	}
+	if l1i, l1d, l2 := h.Probe(0x8000); !l1i || l1d || !l2 {
+		t.Fatalf("Probe(0x8000) = (%v, %v, %v), want (true, false, true)", l1i, l1d, l2)
+	}
+	if l1i, l1d, l2 := h.Probe(0xffff0000); l1i || l1d || l2 {
+		t.Fatalf("Probe(0xffff0000) = (%v, %v, %v), want all false", l1i, l1d, l2)
 	}
 }

@@ -204,6 +204,16 @@ func (h *Hierarchy) WarmD(paddr uint64, ag conflict.Agent, write bool) {
 	}
 }
 
+// Probe reports, without side effects, which levels of the hierarchy hold
+// the line containing paddr (instruction residency is L1I, data residency
+// L1D; either is backed by the shared L2). No LRU, tracker, or counter
+// state changes: Probe is safe to call from audits and invariant checks at
+// any frequency.
+//detlint:hot read-only residency check, usable from per-cycle audit loops
+func (h *Hierarchy) Probe(paddr uint64) (l1i, l1d, l2 bool) {
+	return h.L1I.Probe(paddr), h.L1D.Probe(paddr), h.L2.Probe(paddr)
+}
+
 // DrainStore performs the cache write of a store leaving the store buffer.
 // Unlike AccessD it never stalls: the store buffer is the structure that
 // holds the data, so the write proceeds even when the MSHRs are saturated

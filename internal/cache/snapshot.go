@@ -8,21 +8,31 @@ import (
 	"repro/internal/conflict"
 )
 
-// LineSnap is the serialized form of one cache line.
-type LineSnap struct {
-	Valid   bool
-	Tag     uint64
-	LastUse uint64
-	Filler  conflict.Agent
-	Touched uint64
-	Dirty   bool
-}
-
-// CacheSnap captures one cache's mutable state.
+// CacheSnap captures one cache's mutable state. The line array is
+// serialized sparsely — only lines that differ from the zero value appear —
+// and as parallel primitive-typed arrays rather than a slice of per-line
+// structs: a fresh L2 is >99% untouched early in a run, and gob decodes
+// []uint64/[]uint8 through its fast paths instead of reflecting over every
+// element, which matters on the checkpoint-library restore hot path.
+// Line i of the snapshot is (LineIdx[i], LineTag[i], ...); LineIdx is
+// ascending.
 type CacheSnap struct {
-	Lines         []LineSnap
+	// NumLines is the cache's total line count (the geometry check).
+	NumLines int
+	// LineIdx names the positions of the serialized lines in the cache's
+	// dense line array.
+	LineIdx []uint32
+	LineTag []uint64
+	LineUse []uint64
+	// LineTID is the filler agent's thread id; its privilege bit lives in
+	// LineFlags.
+	LineTID   []uint32
+	LineTouch []uint64
+	// LineFlags packs the per-line booleans: bit 0 valid, bit 1 dirty,
+	// bit 2 filler-privileged.
+	LineFlags     []uint8
 	Tick          uint64
-	Tracker       []conflict.TrackerEntry
+	Tracker       conflict.TrackerSnap
 	Accesses      [2]uint64
 	Misses        [2]uint64
 	Causes        conflict.Matrix
@@ -31,10 +41,16 @@ type CacheSnap struct {
 	Writebacks    uint64
 }
 
+const (
+	lineValid     = 1 << 0
+	lineDirty     = 1 << 1
+	lineFillerPrv = 1 << 2
+)
+
 // Snapshot returns the cache's complete mutable state.
 func (c *Cache) Snapshot() CacheSnap {
 	s := CacheSnap{
-		Lines:         make([]LineSnap, len(c.lines)),
+		NumLines:      len(c.lines),
 		Tick:          c.tick,
 		Tracker:       c.tracker.Snapshot(),
 		Accesses:      c.Accesses,
@@ -45,10 +61,27 @@ func (c *Cache) Snapshot() CacheSnap {
 		Writebacks:    c.Writebacks,
 	}
 	for i, l := range c.lines {
-		s.Lines[i] = LineSnap{
-			Valid: l.valid, Tag: l.tag, LastUse: l.lastUse,
-			Filler: l.filler, Touched: l.touched, Dirty: l.dirty,
+		// Invalidated lines keep their stale tag/lastUse, so comparing
+		// against the zero value (not l.valid) preserves them exactly.
+		if l == (line{}) {
+			continue
 		}
+		var flags uint8
+		if l.valid {
+			flags |= lineValid
+		}
+		if l.dirty {
+			flags |= lineDirty
+		}
+		if l.filler.Priv {
+			flags |= lineFillerPrv
+		}
+		s.LineIdx = append(s.LineIdx, uint32(i))
+		s.LineTag = append(s.LineTag, l.tag)
+		s.LineUse = append(s.LineUse, l.lastUse)
+		s.LineTID = append(s.LineTID, l.filler.TID)
+		s.LineTouch = append(s.LineTouch, l.touched)
+		s.LineFlags = append(s.LineFlags, flags)
 	}
 	return s
 }
@@ -56,13 +89,18 @@ func (c *Cache) Snapshot() CacheSnap {
 // Restore overwrites the cache's state from a snapshot taken on a cache with
 // the same geometry.
 func (c *Cache) Restore(s CacheSnap) {
-	if len(s.Lines) != len(c.lines) {
+	if s.NumLines != len(c.lines) {
 		panic("cache: snapshot geometry mismatch")
 	}
-	for i, l := range s.Lines {
-		c.lines[i] = line{
-			valid: l.Valid, tag: l.Tag, lastUse: l.LastUse,
-			filler: l.Filler, touched: l.Touched, dirty: l.Dirty,
+	clear(c.lines)
+	for i, idx := range s.LineIdx {
+		c.lines[idx] = line{
+			valid:   s.LineFlags[i]&lineValid != 0,
+			dirty:   s.LineFlags[i]&lineDirty != 0,
+			tag:     s.LineTag[i],
+			lastUse: s.LineUse[i],
+			filler:  conflict.Agent{TID: s.LineTID[i], Priv: s.LineFlags[i]&lineFillerPrv != 0},
+			touched: s.LineTouch[i],
 		}
 	}
 	c.tick = s.Tick

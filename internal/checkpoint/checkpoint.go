@@ -107,6 +107,12 @@ func (img *Image) Has(name string) bool {
 	return ok
 }
 
+// SectionLen returns the encoded byte length of the named section (0 if
+// absent) — cheap introspection for size accounting and tests.
+func (img *Image) SectionLen(name string) int {
+	return len(img.sections[name])
+}
+
 // Names returns the section names in sorted order.
 func (img *Image) Names() []string {
 	names := make([]string, 0, len(img.sections))

@@ -2,29 +2,66 @@ package conflict
 
 import "sort"
 
-// TrackerEntry is the serialized form of one tracked key (checkpointing).
-type TrackerEntry struct {
-	Key         uint64
-	TID         uint32
-	Priv        bool
-	Invalidated bool
+// TrackerSnap is the serialized form of a Tracker. It is a struct of
+// parallel arrays rather than a slice of per-key structs: gob decodes
+// primitive-typed slices through its fast paths instead of reflecting over
+// every element, and checkpoint restore decodes trackers with tens of
+// thousands of keys on the hot path of checkpoint-library regeneration.
+// Entry i is (Keys[i], TIDs[i], Flags[i]); Keys are sorted ascending.
+type TrackerSnap struct {
+	Keys []uint64
+	TIDs []uint32
+	// Flags packs the evictor booleans: bit 0 priv, bit 1 invalidated.
+	Flags []uint8
 }
 
-// Snapshot returns the tracker's contents as a key-sorted slice, so that the
+const (
+	trackerPriv        = 1 << 0
+	trackerInvalidated = 1 << 1
+)
+
+// Snapshot returns the tracker's contents key-sorted, so that the
 // serialized form of a deterministic run is itself deterministic.
-func (t *Tracker) Snapshot() []TrackerEntry {
-	out := make([]TrackerEntry, 0, len(t.seen))
-	for k, ev := range t.seen {
-		out = append(out, TrackerEntry{Key: k, TID: ev.tid, Priv: ev.priv, Invalidated: ev.invalidated})
+func (t *Tracker) Snapshot() TrackerSnap {
+	keys := make([]uint64, 0, len(t.seen))
+	for k := range t.seen {
+		keys = append(keys, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s := TrackerSnap{
+		Keys: keys,
+		TIDs: make([]uint32, len(keys)),
+		// A fully zero []uint8 still gob-encodes per element; that is fine
+		// at this size, and Flags is rarely all zero in practice.
+		Flags: make([]uint8, len(keys)),
+	}
+	for i, k := range keys {
+		ev := t.seen[k]
+		s.TIDs[i] = ev.tid
+		if ev.priv {
+			s.Flags[i] |= trackerPriv
+		}
+		if ev.invalidated {
+			s.Flags[i] |= trackerInvalidated
+		}
+	}
+	return s
 }
 
-// Restore replaces the tracker's contents with a snapshot.
-func (t *Tracker) Restore(entries []TrackerEntry) {
-	t.seen = make(map[uint64]evictor, len(entries))
-	for _, e := range entries {
-		t.seen[e.Key] = evictor{tid: e.TID, priv: e.Priv, invalidated: e.Invalidated}
+// Restore replaces the tracker's contents with a snapshot. The existing map
+// is reused when present, so repeated restores onto one tracker do not
+// reallocate.
+func (t *Tracker) Restore(s TrackerSnap) {
+	if t.seen == nil {
+		t.seen = make(map[uint64]evictor, len(s.Keys))
+	} else {
+		clear(t.seen)
+	}
+	for i, k := range s.Keys {
+		t.seen[k] = evictor{
+			tid:         s.TIDs[i],
+			priv:        s.Flags[i]&trackerPriv != 0,
+			invalidated: s.Flags[i]&trackerInvalidated != 0,
+		}
 	}
 }

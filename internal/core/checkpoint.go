@@ -105,15 +105,28 @@ func (s *Simulator) WriteCheckpoint(path string) error {
 // ScriptProgram whose walker and state the kernel then overwrites.
 func (s *Simulator) progFactory() kernel.ProgFactory {
 	return func(name string, slot int) *workload.ScriptProgram {
-		if s.Server != nil && name == "apache" {
-			return s.Server.ProcessFor(slot)
+		key := progKey{name: name, slot: slot}
+		if p, ok := s.progCache[key]; ok {
+			return p
 		}
-		for _, spec := range specint.Suite() {
-			if spec.Name == name {
-				return specint.New(spec, slot, s.Opts.Seed+101)
+		var p *workload.ScriptProgram
+		if s.Server != nil && name == "apache" {
+			p = s.Server.ProcessFor(slot)
+		} else {
+			for _, spec := range specint.Suite() {
+				if spec.Name == name {
+					p = specint.New(spec, slot, s.Opts.Seed+101)
+					break
+				}
 			}
 		}
-		return nil
+		if p != nil {
+			if s.progCache == nil {
+				s.progCache = map[progKey]*workload.ScriptProgram{}
+			}
+			s.progCache[key] = p
+		}
+		return p
 	}
 }
 

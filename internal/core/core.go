@@ -251,6 +251,18 @@ type Simulator struct {
 	// Sup configures periodic audits and auto-checkpoints under RunChecked
 	// (zero value = both off).
 	Sup Supervision
+	// progCache memoizes factory-rebuilt user programs across repeated
+	// RestoreInto calls on this simulator. Program construction (region
+	// generation) is expensive and purely structural; the restore path
+	// overwrites the walker and script state wholesale, so the same object
+	// can host any checkpoint of the same (name, slot) program.
+	progCache map[progKey]*workload.ScriptProgram
+}
+
+// progKey identifies a user program for progCache.
+type progKey struct {
+	name string
+	slot int
 }
 
 // pipelineConfig builds the pipeline configuration from options.

@@ -24,17 +24,11 @@ func init() {
 func fig5(ev *env, sc Scale, seed uint64) Result {
 	sim := apacheSim(sc, seed, core.Options{})
 	t := report.NewTable("cycles(k)", "user%", "kernel%", "pal%", "idle%")
-	steps := 12
-	total := sc.Warmup + sc.Measure
-	prev := report.Take(sim)
 	var lastKernel float64
-	for i := 1; i <= steps; i++ {
-		ev.advance(sim, total/uint64(steps))
-		cur := report.Take(sim)
-		w := report.Delta(prev, cur)
-		prev = cur
+	for _, sw := range ev.steps(sim, sc, 12) {
+		w := sw.w
 		lastKernel = w.CycleAt.PctMode(isa.Kernel) + w.CycleAt.PctMode(isa.PAL)
-		t.Row(report.I(sim.Now()/1000),
+		t.Row(report.I(sw.end/1000),
 			report.F1(w.CycleAt.PctMode(isa.User)),
 			report.F1(w.CycleAt.PctMode(isa.Kernel)),
 			report.F1(w.CycleAt.PctMode(isa.PAL)),
@@ -71,9 +65,11 @@ func fig6(ev *env, sc Scale, seed uint64) Result {
 
 func fig7(ev *env, sc Scale, seed uint64) Result {
 	sim := apacheSim(sc, seed, core.Options{})
-	before := sim.Kernel.SvcInstByRes
-	w := ev.window(sim, sc)
-	after := sim.Kernel.SvcInstByRes
+	// phases covers the whole span, so startup+steady telescopes to the same
+	// full-run service-instruction totals the resource chart needs, while
+	// the syscall table keeps using the steady (measured) window.
+	startup, steady := ev.phases(sim, sc)
+	w := steady
 
 	t := report.NewTable("syscall", "% of all cycles")
 	for n := uint16(1); n < sys.NumSyscalls; n++ {
@@ -90,7 +86,7 @@ func fig7(ev *env, sc Scale, seed uint64) Result {
 	var res [5]uint64
 	var resTotal uint64
 	for i := range res {
-		res[i] = after[i] - before[i]
+		res[i] = startup.SvcInstByRes[i] + steady.SvcInstByRes[i]
 		resTotal += res[i]
 	}
 	t2 := report.NewTable("resource", "% of service instructions")

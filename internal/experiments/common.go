@@ -50,12 +50,14 @@ type Result struct {
 	Values map[string]float64
 }
 
-// env carries per-run context through an experiment function — notably the
-// supervisor when the run is supervised (nil otherwise). Each job in a
-// parallel sweep gets its own env, so experiment functions never share
+// env carries per-run context through an experiment function — the
+// supervisor when the run is supervised, and the checkpoint-library runner
+// when the run regenerates from windows (both nil on plain runs). Each job
+// in a parallel sweep gets its own env, so experiment functions never share
 // mutable state across goroutines.
 type env struct {
 	sup *supervisor
+	win *WindowRunner
 }
 
 // runner builds one experiment.
@@ -109,8 +111,13 @@ func (ev *env) advance(sim *core.Simulator, n uint64) {
 }
 
 // window runs warmup, then measures for sc.Measure cycles and returns the
-// delta snapshot of the measured window.
+// delta snapshot of the measured window. Under a WindowRunner the simulation
+// never runs here: the result is the merged deltas of the library windows
+// that open after warmup.
 func (ev *env) window(sim *core.Simulator, sc Scale) report.Snapshot {
+	if ev.win != nil {
+		return ev.win.merged(sim, sc, sc.Warmup, ^uint64(0))
+	}
 	ev.advance(sim, sc.Warmup)
 	a := report.Take(sim)
 	ev.advance(sim, sc.Measure)
@@ -120,13 +127,57 @@ func (ev *env) window(sim *core.Simulator, sc Scale) report.Snapshot {
 
 // phases runs the simulation from cold and returns the start-up window
 // (the first sc.Warmup cycles) and the steady window (the next sc.Measure).
+// Under a WindowRunner the two phases are the merged library windows that
+// open before and after the warmup boundary.
 func (ev *env) phases(sim *core.Simulator, sc Scale) (startup, steady report.Snapshot) {
+	if ev.win != nil {
+		return ev.win.merged(sim, sc, 0, sc.Warmup), ev.win.merged(sim, sc, sc.Warmup, ^uint64(0))
+	}
 	zero := report.Take(sim)
 	ev.advance(sim, sc.Warmup)
 	a := report.Take(sim)
 	ev.advance(sim, sc.Measure)
 	b := report.Take(sim)
 	return report.Delta(zero, a), report.Delta(a, b)
+}
+
+// stepWin is one time-series bucket of a steps() sweep: the cycle at which
+// the bucket ends and its window delta.
+type stepWin struct {
+	end uint64
+	w   report.Snapshot
+}
+
+// steps splits the full span into n equal time buckets and returns each
+// bucket's delta, for the Figure 1/5 time series. Under a WindowRunner a
+// bucket holds the merged library windows opening inside it (the windowed
+// sampling period guarantees at least one per bucket); otherwise the
+// simulation advances bucket by bucket.
+func (ev *env) steps(sim *core.Simulator, sc Scale, n int) []stepWin {
+	total := sc.Warmup + sc.Measure
+	step := total / uint64(n)
+	out := make([]stepWin, n)
+	if ev.win != nil {
+		for i := 0; i < n; i++ {
+			from, to := uint64(i)*step, uint64(i+1)*step
+			if i == n-1 {
+				// Integer division can leave a tail after the last bucket
+				// boundary; fold any window opening there into the last
+				// bucket rather than dropping it.
+				to = ^uint64(0)
+			}
+			out[i] = stepWin{end: uint64(i+1) * step, w: ev.win.merged(sim, sc, from, to)}
+		}
+		return out
+	}
+	prev := report.Take(sim)
+	for i := 0; i < n; i++ {
+		ev.advance(sim, step)
+		cur := report.Take(sim)
+		out[i] = stepWin{end: sim.Now(), w: report.Delta(prev, cur)}
+		prev = cur
+	}
+	return out
 }
 
 // paperNote renders a "paper reported" reference block.

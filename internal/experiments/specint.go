@@ -25,21 +25,15 @@ func init() {
 func fig1(ev *env, sc Scale, seed uint64) Result {
 	sim := specSim(sc, seed, core.Options{})
 	t := report.NewTable("cycles(k)", "user%", "kernel%", "pal%", "idle%")
-	steps := 16
-	total := sc.Warmup + sc.Measure
-	prev := report.Take(sim)
 	var lastKernel, startKernel float64
-	for i := 1; i <= steps; i++ {
-		ev.advance(sim, total/uint64(steps))
-		cur := report.Take(sim)
-		w := report.Delta(prev, cur)
-		prev = cur
+	for i, sw := range ev.steps(sim, sc, 16) {
+		w := sw.w
 		kp := w.CycleAt.PctMode(isa.Kernel) + w.CycleAt.PctMode(isa.PAL)
-		if i == 1 {
+		if i == 0 {
 			startKernel = kp
 		}
 		lastKernel = kp
-		t.Row(report.I(sim.Now()/1000),
+		t.Row(report.I(sw.end/1000),
 			report.F1(w.CycleAt.PctMode(isa.User)),
 			report.F1(w.CycleAt.PctMode(isa.Kernel)),
 			report.F1(w.CycleAt.PctMode(isa.PAL)),

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// winScale keeps the windowed tests fast: 16 windows of ~1.6k detail cycles.
+var winScale = func() Scale {
+	sc := Scale{Warmup: 100_000, Measure: 150_000, Interval: 40_000}
+	sc.Sampling = WindowedSampling(sc)
+	return sc
+}()
+
+func renderBoth(t *testing.T, wr *WindowRunner) (fig1, fig5 string) {
+	t.Helper()
+	r1, err := RunWindowed("fig1", winScale, 1, wr)
+	if err != nil {
+		t.Fatalf("fig1: %v", err)
+	}
+	r5, err := RunWindowed("fig5", winScale, 1, wr)
+	if err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	return r1.Text, r5.Text
+}
+
+// TestWindowedByteIdentity regenerates Figure 1 (SPECInt) and Figure 5
+// (Apache) from a checkpoint library under different worker counts and
+// library temperatures. Every variant must be byte-identical: window merge
+// order is fixed by the library, not by scheduling.
+func TestWindowedByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+
+	// Cold pass builds the library as a side effect.
+	cold := NewWindowRunner(WindowedConfig{Dir: dir, Workers: 1})
+	fig1Cold, fig5Cold := renderBoth(t, cold)
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		wr := NewWindowRunner(WindowedConfig{Dir: dir, Workers: workers})
+		fig1, fig5 := renderBoth(t, wr)
+		if fig1 != fig1Cold {
+			t.Errorf("fig1 with %d workers (warm library) differs from cold single-worker output", workers)
+		}
+		if fig5 != fig5Cold {
+			t.Errorf("fig5 with %d workers (warm library) differs from cold single-worker output", workers)
+		}
+	}
+}
+
+// TestWindowJobHelper is not a test: it is the child half of
+// TestWindowedProcessMode, running the real -window-job entry point inside
+// the test binary.
+func TestWindowJobHelper(t *testing.T) {
+	if os.Getenv("WINDOW_JOB_HELPER") != "1" {
+		t.Skip("helper process for TestWindowedProcessMode")
+	}
+	var args []string
+	for i, a := range os.Args {
+		if a == "--" {
+			args = os.Args[i+1:]
+			break
+		}
+	}
+	os.Exit(WindowJobMain(args, os.Stdout, os.Stderr))
+}
+
+// TestWindowedProcessMode runs the window jobs in child OS processes (the
+// -windows-parallel path) and checks the output is byte-identical to the
+// in-process run.
+func TestWindowedProcessMode(t *testing.T) {
+	dir := t.TempDir()
+	inproc := NewWindowRunner(WindowedConfig{Dir: dir, Workers: 2})
+	fig1In, fig5In := renderBoth(t, inproc)
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	t.Setenv("WINDOW_JOB_HELPER", "1")
+	procs := NewWindowRunner(WindowedConfig{
+		Dir:     dir,
+		Workers: 2,
+		Exec:    []string{exe, "-test.run=^TestWindowJobHelper$", "--"},
+	})
+	fig1Proc, fig5Proc := renderBoth(t, procs)
+	if fig1Proc != fig1In {
+		t.Errorf("fig1 from OS-process window jobs differs from in-process output")
+	}
+	if fig5Proc != fig5In {
+		t.Errorf("fig5 from OS-process window jobs differs from in-process output")
+	}
+}
+
+// TestWindowedStaleLibrary checks that a window image refuses to restore
+// under the wrong configuration fingerprint with a structured *FormatError,
+// and that the mismatch triggers a rebuild (not reuse) through the runner.
+func TestWindowedStaleLibrary(t *testing.T) {
+	dir := t.TempDir()
+	o := core.Options{Seed: 1, CyclesPer10ms: winScale.Interval, Sampling: winScale.Sampling}
+	span := winScale.Warmup + winScale.Measure
+	fp := core.Fingerprint("specint", o, span)
+	if _, err := BuildLibrary(filepath.Join(dir, fp), "specint", o, span); err != nil {
+		t.Fatalf("BuildLibrary: %v", err)
+	}
+
+	_, err := RunWindowJob(filepath.Join(dir, fp), 0, "0000deadbeef0000")
+	if err == nil {
+		t.Fatal("RunWindowJob with wrong fingerprint succeeded, want *checkpoint.FormatError")
+	}
+	var ferr *checkpoint.FormatError
+	if !errors.As(err, &ferr) {
+		t.Fatalf("RunWindowJob error is %T (%v), want *checkpoint.FormatError", err, err)
+	}
+
+	// The right fingerprint restores fine.
+	if _, err := RunWindowJob(filepath.Join(dir, fp), 0, fp); err != nil {
+		t.Fatalf("RunWindowJob with matching fingerprint: %v", err)
+	}
+}
+
+// TestWindowedMidWindowAudit restores a library window, runs partway into
+// its detail window, and audits: a mid-window machine state reconstructed
+// from disk must satisfy every kernel/engine invariant.
+func TestWindowedMidWindowAudit(t *testing.T) {
+	dir := t.TempDir()
+	o := core.Options{Seed: 1, CyclesPer10ms: winScale.Interval, Sampling: winScale.Sampling}
+	span := winScale.Warmup + winScale.Measure
+	fp := core.Fingerprint("specint", o, span)
+	idx, err := BuildLibrary(filepath.Join(dir, fp), "specint", o, span)
+	if err != nil {
+		t.Fatalf("BuildLibrary: %v", err)
+	}
+	if len(idx.Windows) < 4 {
+		t.Fatalf("library has %d windows, want at least 4", len(idx.Windows))
+	}
+
+	img, err := checkpoint.ReadFile(checkpoint.LibraryWindowPath(filepath.Join(dir, fp), 3))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	sim, err := core.Restore(img)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	sim.Engine.SetSampleLibraryBuild(false)
+	if err := sim.Audit(); err != nil {
+		t.Fatalf("audit immediately after restore: %v", err)
+	}
+	warmup, detail := sim.Engine.SampleWindow()
+	sim.Run(warmup + detail/2)
+	if err := sim.Audit(); err != nil {
+		t.Fatalf("audit mid detail window: %v", err)
+	}
+}
+
+// TestWindowedRequiresSampling pins the error paths: windowed regeneration
+// and library builds both need an enabled sampling configuration.
+func TestWindowedRequiresSampling(t *testing.T) {
+	sc := Scale{Warmup: 100_000, Measure: 150_000, Interval: 40_000}
+	wr := NewWindowRunner(WindowedConfig{Dir: t.TempDir(), Workers: 1})
+	if _, err := RunWindowed("fig1", sc, 1, wr); err == nil {
+		t.Fatal("RunWindowed without sampling succeeded, want error")
+	}
+	o := core.Options{Seed: 1, CyclesPer10ms: sc.Interval}
+	if _, err := BuildLibrary(t.TempDir(), "specint", o, 250_000); err == nil {
+		t.Fatal("BuildLibrary without sampling succeeded, want error")
+	}
+}

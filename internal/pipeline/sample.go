@@ -80,6 +80,18 @@ type sampler struct {
 	ffCycles     uint64 // cycles spent in fast-forward
 	detailCycles uint64 // cycles spent in detail (warmup + measure)
 
+	// atWindow is set when the FSM opens a warmup+detail block and cleared
+	// the moment the next cycle executes, so a checkpoint-library builder
+	// stepping with RunToNextWindow can recognize the exact window-start
+	// boundary (phase == sampleWarm, zero cycles of warmup executed).
+	atWindow bool
+	// libBuild switches the engine into library-generation mode: the FSM
+	// still walks the identical window schedule (same RNG draws, same
+	// placement), but warmup and measurement phases execute functionally
+	// and closed windows contribute no observations — the detail work is
+	// deferred to the per-window restore pass.
+	libBuild bool
+
 	// base* snapshot the counters at measurement-window open, so window
 	// observations are deltas.
 	baseCycles     stats.Cycles
@@ -94,8 +106,11 @@ type sampler struct {
 const paceFrac = 8
 
 // detailed reports whether the current phase runs the cycle-accurate step.
+// In library-build mode every phase executes functionally: the schedule (and
+// therefore the RNG stream and window placement) is identical, but the warmup
+// and measurement cycles are deferred to the restore pass.
 func (s *sampler) detailed() bool {
-	return s.phase == sampleWarm || s.phase == sampleMeasure
+	return !s.libBuild && (s.phase == sampleWarm || s.phase == sampleMeasure)
 }
 
 // nextRand is splitmix64: deterministic, allocation-free, engine-local.
@@ -124,6 +139,8 @@ type SamplerSnap struct {
 	KernelPct      stats.Series
 	UserPct        stats.Series
 	IdlePct        stats.Series
+	AtWindow       bool
+	LibBuild       bool
 }
 
 // Snapshot captures the sampling FSM.
@@ -146,6 +163,8 @@ func (s *sampler) Snapshot() SamplerSnap {
 		KernelPct:      s.kernelPct,
 		UserPct:        s.userPct,
 		IdlePct:        s.idlePct,
+		AtWindow:       s.atWindow,
+		LibBuild:       s.libBuild,
 	}
 }
 
@@ -168,6 +187,8 @@ func (s *sampler) Restore(sn SamplerSnap) {
 	s.kernelPct = sn.KernelPct
 	s.userPct = sn.UserPct
 	s.idlePct = sn.IdlePct
+	s.atWindow = sn.AtWindow
+	s.libBuild = sn.LibBuild
 }
 
 // SampleStats is the exported view of the sampling estimators, for reports.
@@ -212,6 +233,23 @@ func (s SampleStats) Sub(prev SampleStats) SampleStats {
 	}
 }
 
+// Merge combines two windowed SampleStats deltas (the additive inverse of
+// Sub). Folding per-window deltas left-to-right in window order is exactly
+// the accumulation a serial run performs, so the result is bit-identical
+// regardless of how the windows were partitioned across workers.
+func (s SampleStats) Merge(o SampleStats) SampleStats {
+	return SampleStats{
+		Enabled:      s.Enabled || o.Enabled,
+		Windows:      s.Windows + o.Windows,
+		FFCycles:     s.FFCycles + o.FFCycles,
+		DetailCycles: s.DetailCycles + o.DetailCycles,
+		IPC:          s.IPC.Merge(o.IPC),
+		KernelPct:    s.KernelPct.Merge(o.KernelPct),
+		UserPct:      s.UserPct.Merge(o.UserPct),
+		IdlePct:      s.IdlePct.Merge(o.IdlePct),
+	}
+}
+
 // EnableSampling switches the engine into sampling mode. It panics on an
 // invalid configuration (core.Options.Validate rejects these earlier with a
 // friendlier message). Safe on a freshly built engine; enabling drains any
@@ -235,6 +273,65 @@ func (e *Engine) EnableSampling(cfg SampleConfig) {
 	s.phase = sampleWarm
 	s.left = cfg.Warmup
 	s.post = cfg.Period - cfg.Warmup - cfg.DetailWindow
+	s.atWindow = true
+}
+
+// SetSampleLibraryBuild toggles library-generation mode (see sampler.libBuild).
+// The engine must already be in sampling mode.
+func (e *Engine) SetSampleLibraryBuild(on bool) {
+	if e.smp.phase == sampleOff {
+		panic("pipeline: SetSampleLibraryBuild requires sampling mode")
+	}
+	e.smp.libBuild = on
+}
+
+// AtWindowStart reports whether the engine sits exactly at the opening
+// boundary of a warmup+detail block: the next detailed cycle is the first
+// warmup cycle of the window. This is the point a checkpoint-library builder
+// snapshots.
+func (e *Engine) AtWindowStart() bool {
+	return e.smp.atWindow
+}
+
+// SampleWindow returns the configured warmup and detail-window lengths, in
+// cycles. It panics when sampling is off.
+func (e *Engine) SampleWindow() (warmup, detail uint64) {
+	if e.smp.phase == sampleOff {
+		panic("pipeline: SampleWindow requires sampling mode")
+	}
+	return e.smp.cfg.Warmup, e.smp.cfg.DetailWindow
+}
+
+// RunToNextWindow advances the engine by at most max cycles, stopping early
+// at the opening boundary of the next warmup+detail block. It returns the
+// number of cycles actually executed and whether the engine stopped at a
+// window boundary (false means the cycle budget ran out first). Intended for
+// library generation: the caller checkpoints at each true return.
+func (e *Engine) RunToNextWindow(max uint64) (ran uint64, atWindow bool) {
+	if e.smp.phase == sampleOff {
+		panic("pipeline: RunToNextWindow requires sampling mode")
+	}
+	e.smp.atWindow = false
+	for i := uint64(0); i < max; i++ {
+		for e.smp.left == 0 {
+			e.sampleAdvance()
+		}
+		if e.smp.atWindow {
+			return i, true
+		}
+		e.smp.left--
+		if e.smp.detailed() {
+			e.step()
+			e.smp.detailCycles++
+		} else {
+			e.ffStep()
+			e.smp.ffCycles++
+		}
+	}
+	for e.smp.left == 0 {
+		e.sampleAdvance()
+	}
+	return max, e.smp.atWindow
 }
 
 // runSampled is the sampling-mode Run loop: each cycle runs either the
@@ -247,6 +344,7 @@ func (e *Engine) runSampled(n uint64) {
 		for e.smp.left == 0 {
 			e.sampleAdvance()
 		}
+		e.smp.atWindow = false
 		e.smp.left--
 		if e.smp.detailed() {
 			e.step()
@@ -269,6 +367,7 @@ func (e *Engine) sampleAdvance() {
 	case sampleFFPre:
 		s.phase = sampleWarm
 		s.left = s.cfg.Warmup
+		s.atWindow = true
 	case sampleWarm:
 		s.phase = sampleMeasure
 		s.left = s.cfg.DetailWindow
@@ -299,8 +398,15 @@ func (e *Engine) schedulePeriod() {
 }
 
 // endWindow folds the just-closed measurement window into the estimators.
+// Library-build runs skip the fold entirely: their windows executed
+// functionally, so there is no detailed observation to record and the pace
+// stays at its current value (the restore pass re-runs each window in full
+// detail from the checkpointed state).
 func (e *Engine) endWindow() {
 	s := &e.smp
+	if s.libBuild {
+		return
+	}
 	cycles := e.Metrics.Cycles - s.baseCycleCount
 	if cycles == 0 {
 		return

@@ -80,3 +80,13 @@ func (h Hist) Sub(prev Hist) Hist {
 	}
 	return d
 }
+
+// Merge returns the sum h + o (the inverse of Sub, for combining windowed
+// deltas).
+func (h Hist) Merge(o Hist) Hist {
+	m := Hist{Count: h.Count + o.Count, Sum: h.Sum + o.Sum, Over: h.Over + o.Over}
+	for i := range h.Buckets {
+		m.Buckets[i] = h.Buckets[i] + o.Buckets[i]
+	}
+	return m
+}

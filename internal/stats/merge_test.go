@@ -1,0 +1,87 @@
+package stats
+
+import "testing"
+
+// The Merge methods are the additive inverses of Sub: folding per-window
+// deltas in window order must reproduce the serial accumulation exactly.
+// The tests below use integer-valued observations so the float moment sums
+// in Series are exact and the telescoping identity
+// Merge(Sub(b,a), Sub(c,b)) == Sub(c,a) holds bit for bit.
+
+func TestSeriesMergeInverseOfSub(t *testing.T) {
+	var a, b, c Series
+	for _, v := range []float64{3, 5, 8} {
+		a.Add(v)
+	}
+	b = a
+	for _, v := range []float64{2, 13} {
+		b.Add(v)
+	}
+	c = b
+	c.Add(21)
+
+	got := b.Sub(a).Merge(c.Sub(b))
+	want := c.Sub(a)
+	if got != want {
+		t.Errorf("Merge(Sub(b,a), Sub(c,b)) = %+v, want Sub(c,a) = %+v", got, want)
+	}
+	if got.N != 3 || got.Sum != 36 || got.SumSq != 4+169+441 {
+		t.Errorf("merged series moments = %+v", got)
+	}
+}
+
+func TestSeriesMergeZeroIdentity(t *testing.T) {
+	var s Series
+	s.Add(7)
+	s.Add(11)
+	if s.Merge(Series{}) != s || (Series{}).Merge(s) != s {
+		t.Errorf("zero series is not a Merge identity: %+v", s)
+	}
+}
+
+func TestCyclesMergeInverseOfSub(t *testing.T) {
+	fill := func(k uint64) Cycles {
+		var c Cycles
+		for i := range c.ByCat {
+			c.ByCat[i] = k * uint64(i+1)
+		}
+		for i := range c.BySyscall {
+			c.BySyscall[i] = k * uint64(i+2)
+		}
+		for i := range c.ByMode {
+			c.ByMode[i] = k * uint64(i+3)
+		}
+		c.Total = k * 1000
+		return c
+	}
+	a, b, c := fill(1), fill(4), fill(9)
+
+	ab, bc := b.Sub(&a), c.Sub(&b)
+	got := ab.Merge(&bc)
+	want := c.Sub(&a)
+	if got != want {
+		t.Errorf("Merge(Sub(b,a), Sub(c,b)) = %+v, want Sub(c,a) = %+v", got, want)
+	}
+}
+
+func TestHistMergeInverseOfSub(t *testing.T) {
+	var a, b, c Hist
+	for _, v := range []uint64{1, 1, 2, 300} {
+		a.Observe(v)
+	}
+	b = a
+	for _, v := range []uint64{2, 255, 1000} {
+		b.Observe(v)
+	}
+	c = b
+	c.Observe(0)
+
+	got := b.Sub(a).Merge(c.Sub(b))
+	want := c.Sub(a)
+	if got != want {
+		t.Errorf("Merge(Sub(b,a), Sub(c,b)) != Sub(c,a)")
+	}
+	if got.Count != 4 || got.Over != 1 || got.Buckets[2] != 1 || got.Buckets[255] != 1 || got.Buckets[0] != 1 {
+		t.Errorf("merged histogram = Count %d Over %d", got.Count, got.Over)
+	}
+}

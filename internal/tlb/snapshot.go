@@ -21,7 +21,7 @@ type EntrySnap struct {
 type Snapshot struct {
 	Entries       []EntrySnap
 	Tick          uint64
-	Tracker       []conflict.TrackerEntry
+	Tracker       conflict.TrackerSnap
 	Accesses      [2]uint64
 	Misses        [2]uint64
 	Causes        conflict.Matrix
