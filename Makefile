@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet lint test race audit ckpt-smoke exhaust-smoke bench-smoke sample-smoke bench bench-diff regen-bench run experiments
+.PHONY: check build vet lint test race audit ckpt-smoke exhaust-smoke scale-smoke bench-smoke sample-smoke bench bench-diff regen-bench run experiments
 
 # check is the full verification gate: compile, vet, the determinism linter,
 # the whole test suite, a fast race pass (Quick-scale simulations skip under
 # -short, so the race leg stays cheap while still covering the worker pool
 # and fault-injection paths), an audited simulation leg, a checkpoint
 # save/restore round trip, a sampled-mode determinism smoke, a resource-
-# exhaustion smoke, and a one-iteration benchmark smoke.
-check: build vet lint test race audit ckpt-smoke sample-smoke exhaust-smoke bench-smoke
+# exhaustion smoke, a large-fleet event-driven netsim smoke, and a
+# one-iteration benchmark smoke.
+check: build vet lint test race audit ckpt-smoke sample-smoke exhaust-smoke scale-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,27 @@ exhaust-smoke:
 	cmp /tmp/ossmt-exhaust-a.txt /tmp/ossmt-exhaust-b.txt
 	grep -q 'resources:' /tmp/ossmt-exhaust-a.txt
 	rm -f /tmp/ossmt-exhaust-a.txt /tmp/ossmt-exhaust-b.txt
+
+# scale-smoke proves the event-driven netsim at fleet scale end to end
+# through the CLI: a 100k-client staggered run with the invariant auditor on
+# must finish, report tail-latency percentiles, and reproduce
+# byte-identically (see DESIGN.md, "Event-driven netsim"). It also reruns
+# the driver-equivalence tests with the reference full-scan driver as the
+# build-time default (-tags netsimref), so the pinned byte-identity holds
+# from both directions.
+scale-smoke:
+	$(GO) run ./cmd/ossmt -workload apache -warmup 200000 -cycles 400000 \
+		-interval 40000 -clients 100000 -stagger 400 -think 400 \
+		-measure-latency -idle-timeout 8 \
+		-audit 100000 > /tmp/ossmt-scale-a.txt
+	$(GO) run ./cmd/ossmt -workload apache -warmup 200000 -cycles 400000 \
+		-interval 40000 -clients 100000 -stagger 400 -think 400 \
+		-measure-latency -idle-timeout 8 \
+		-audit 100000 > /tmp/ossmt-scale-b.txt
+	cmp /tmp/ossmt-scale-a.txt /tmp/ossmt-scale-b.txt
+	grep -q 'latency ticks' /tmp/ossmt-scale-a.txt
+	rm -f /tmp/ossmt-scale-a.txt /tmp/ossmt-scale-b.txt
+	$(GO) test -tags netsimref -run 'TestEventDriven|TestSnapshotRoundTrip' ./internal/netsim/
 
 # bench-smoke runs every benchmark exactly once — it exists to catch
 # crashes in bench-only code paths, not to measure anything.

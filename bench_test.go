@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
 )
 
 // benchScale keeps each regenerated artifact affordable under `go test
@@ -200,3 +202,89 @@ func BenchmarkAblationKeepAlive(b *testing.B) { runExperiment(b, "ablation-keepa
 // BenchmarkAblationDiskBound contrasts the paper's cached fileset with a
 // disk-bound one (every miss runs the driver + DMA; the disk is free).
 func BenchmarkAblationDiskBound(b *testing.B) { runExperiment(b, "ablation-diskbound") }
+
+// --- Event-driven netsim scaling (see DESIGN.md "Event-driven netsim") ---
+
+// benchNetTick measures one network tick against a minimal in-process
+// responder, holding the active load fixed (~250 arrivals per tick via
+// think/stagger scaling) while the fleet size sweeps 1k→1M. The netTickNs
+// metric lands in BENCH_<date>.json and is gated by `make bench-diff`: per
+// tick the event-driven driver is O(active + arrivals), so netTickNs must
+// stay flat as the dormant population grows 1000x.
+func benchNetTick(b *testing.B, clients int) {
+	const arrivalsPerTick = 250
+	stagger := clients / arrivalsPerTick
+	if stagger < 1 {
+		stagger = 1
+	}
+	net := netsim.New(netsim.Config{
+		Clients: clients, Seed: 7, RequestBytes: 300,
+		ThinkTicks: stagger, StaggerTicks: stagger,
+	})
+	// The responder serves each known connection up to two 1460-byte
+	// segments per tick — enough protocol back-and-forth to exercise acks,
+	// demux, and multi-tick responses without dragging the kernel in.
+	left := map[int]int{}
+	var order []int
+	tick := uint64(0)
+	step := func() {
+		tick++
+		for _, fr := range net.Tick(tick) {
+			switch {
+			case fr.Corrupt || fr.Ack || fr.Conn == 0:
+			case fr.Close:
+				delete(left, fr.Conn)
+			default:
+				if _, ok := left[fr.Conn]; !ok {
+					if sz := net.FileSize(fr.Conn); sz > 0 {
+						left[fr.Conn] = sz
+						order = append(order, fr.Conn)
+					}
+				}
+			}
+		}
+		kept := order[:0]
+		for _, conn := range order {
+			n, ok := left[conn]
+			if !ok {
+				continue
+			}
+			for seg := 0; seg < 2 && n > 0; seg++ {
+				chunk := 1460
+				if chunk > n {
+					chunk = n
+				}
+				n -= chunk
+				net.Transmit(kernel.Frame{Conn: conn, Bytes: chunk}, 0)
+			}
+			if n == 0 {
+				delete(left, conn)
+			} else {
+				left[conn] = n
+				kept = append(kept, conn)
+			}
+		}
+		order = kept
+	}
+	// Reach steady state (arrival waves overlapping completions) off-timer.
+	for i := 0; i < 2048; i++ {
+		step()
+	}
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "netTickNs")
+}
+
+// BenchmarkNetTick1k is the small-fleet baseline tick cost.
+func BenchmarkNetTick1k(b *testing.B) { benchNetTick(b, 1_000) }
+
+// BenchmarkNetTick100k holds the active load of the 1k fleet with 100x the
+// dormant population.
+func BenchmarkNetTick100k(b *testing.B) { benchNetTick(b, 100_000) }
+
+// BenchmarkNetTick1M is the million-client point: same active load, 1000x
+// the population; netTickNs must stay within noise of the 100k point.
+func BenchmarkNetTick1M(b *testing.B) { benchNetTick(b, 1_000_000) }

@@ -22,7 +22,11 @@
 // measurement is dominated by scheduler and cache noise, not code changes.
 // The figureRegenSec metric (BenchmarkFigureRegen's checkpoint-library
 // figure-regeneration wall clock) is gated like ns/op, with its own
-// -regen-floor (default 0.05 s).
+// -regen-floor (default 0.05 s). The netTickNs metric (BenchmarkNetTick's
+// per-tick cost of the event-driven client driver at 10^3..10^6 clients) is
+// gated the same way, with its own -nettick-floor (default 200 µs): letting
+// it creep with fleet size would silently lose the O(active + arrivals)
+// tick.
 package main
 
 import (
@@ -64,6 +68,7 @@ func main() {
 	threshold := flag.Float64("threshold", 10, "with -diff, exit 1 if ns/op regresses by more than this percent")
 	floor := flag.Float64("floor", 1e6, "with -diff, ignore regressions when both sides run faster than this many ns/op (timing noise)")
 	regenFloor := flag.Float64("regen-floor", 0.05, "with -diff, ignore figureRegenSec regressions when both sides run faster than this many seconds (timing noise)")
+	netTickFloor := flag.Float64("nettick-floor", 200_000, "with -diff, ignore netTickNs regressions when both sides run faster than this many nanoseconds per tick (timing noise)")
 	flag.Parse()
 
 	if *diff {
@@ -71,7 +76,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(diffArtifacts(flag.Arg(0), flag.Arg(1), *threshold, *floor, *regenFloor))
+		os.Exit(diffArtifacts(flag.Arg(0), flag.Arg(1), *threshold, *floor, *regenFloor, *netTickFloor))
 	}
 
 	doc := document{Date: *date}
@@ -110,11 +115,12 @@ func main() {
 
 // diffArtifacts prints per-benchmark deltas between two artifacts and
 // returns the process exit code: 1 if any gated metric regresses by more
-// than threshold percent, 0 otherwise. Two metrics are gated: ns/op on
-// benchmarks at or above floor nanoseconds, and figureRegenSec — the
+// than threshold percent, 0 otherwise. Three metrics are gated: ns/op on
+// benchmarks at or above floor nanoseconds, figureRegenSec — the
 // checkpoint-library figure-regeneration wall clock — at or above
-// regenFloor seconds.
-func diffArtifacts(oldPath, newPath string, threshold, floor, regenFloor float64) int {
+// regenFloor seconds, and netTickNs — the event-driven client driver's
+// per-tick cost — at or above netTickFloor nanoseconds.
+func diffArtifacts(oldPath, newPath string, threshold, floor, regenFloor, netTickFloor float64) int {
 	oldDoc, err := loadArtifact(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -162,10 +168,19 @@ func diffArtifacts(oldPath, newPath string, threshold, floor, regenFloor float64
 			}
 			upct := 100 * (nr.Metrics[unit] - ov) / ov
 			note := ""
-			// figureRegenSec is a gated metric like ns/op: it is the whole
-			// point of the checkpoint-library pipeline, so letting it creep
-			// would silently lose the speedup.
-			if unit == "figureRegenSec" && !(ov < regenFloor && nr.Metrics[unit] < regenFloor) && upct > threshold {
+			// figureRegenSec and netTickNs are gated metrics like ns/op:
+			// each is the whole point of its subsystem (the checkpoint
+			// library's regen speedup; the event-driven netsim's
+			// O(active + arrivals) tick), so letting either creep would
+			// silently lose the optimization.
+			gatedFloor, gated := 0.0, false
+			switch unit {
+			case "figureRegenSec":
+				gatedFloor, gated = regenFloor, true
+			case "netTickNs":
+				gatedFloor, gated = netTickFloor, true
+			}
+			if gated && !(ov < gatedFloor && nr.Metrics[unit] < gatedFloor) && upct > threshold {
 				note = fmt.Sprintf("  REGRESSION (> %.0f%%)", threshold)
 				regressed = true
 			}
@@ -179,7 +194,7 @@ func diffArtifacts(oldPath, newPath string, threshold, floor, regenFloor float64
 		}
 	}
 	if regressed {
-		fmt.Printf("FAIL: at least one gated metric (ns/op or figureRegenSec) regressed by more than %.0f%%\n", threshold)
+		fmt.Printf("FAIL: at least one gated metric (ns/op, figureRegenSec, or netTickNs) regressed by more than %.0f%%\n", threshold)
 		return 1
 	}
 	return 0

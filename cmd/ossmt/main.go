@@ -45,6 +45,9 @@ func run() int {
 		contexts = flag.Int("contexts", 0, "override SMT hardware contexts (default 8)")
 		procs    = flag.Int("procs", 0, "override Apache server processes (default 64)")
 		clients  = flag.Int("clients", 0, "override SPECWeb clients (default 128)")
+		think    = flag.Int("think", 0, "client think time between requests in 10ms ticks (0 = default)")
+		stagger  = flag.Int("stagger", 0, "stagger initial client arrivals over N 10ms ticks (0 = synchronized start)")
+		measLat  = flag.Bool("measure-latency", false, "record per-request latency percentiles even without overload faults")
 		idleSpin = flag.Bool("idlespin", false, "idle contexts spin instead of halting")
 		rrFetch  = flag.Bool("rrfetch", false, "round-robin fetch instead of ICOUNT")
 		perProg  = flag.Bool("perthread", false, "print a per-thread breakdown")
@@ -133,6 +136,9 @@ func run() int {
 		Contexts:         *contexts,
 		ServerProcesses:  *procs,
 		Clients:          *clients,
+		ThinkTicks:       *think,
+		StaggerTicks:     *stagger,
+		MeasureLatency:   *measLat,
 		IdleSpin:         *idleSpin,
 		RoundRobinFetch:  *rrFetch,
 		AcceptBacklog:    *backlog,

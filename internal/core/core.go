@@ -104,6 +104,18 @@ type Options struct {
 	// MemFrameLimit, when > 0, caps the frame allocator below physical
 	// memory, forcing page reclaim at the low watermark.
 	MemFrameLimit uint64
+	// ThinkTicks overrides the client think time between requests in 10 ms
+	// network ticks (0 = the netsim default).
+	ThinkTicks int
+	// StaggerTicks > 0 staggers initial client arrivals uniformly over
+	// that many ticks instead of a thundering herd at tick 1 — essential
+	// at large client counts, where a simultaneous first wave would melt
+	// the accept backlog before steady state is reached.
+	StaggerTicks int
+	// MeasureLatency records per-request completion latency into the
+	// network's histogram even when no overload faults are configured
+	// (overload runs always measure).
+	MeasureLatency bool
 	// SeedPartitions is the number of derived RNG seed partitions carved
 	// out of Seed, one per subsystem stream (kernel, SPECInt, network,
 	// Apache, faults, sampling), spaced seedStride apart so the streams
@@ -201,6 +213,12 @@ func (o Options) Validate() error {
 	}
 	if o.IdleTimeoutTicks < 0 {
 		return fmt.Errorf("core: negative IdleTimeoutTicks %d", o.IdleTimeoutTicks)
+	}
+	if o.ThinkTicks < 0 {
+		return fmt.Errorf("core: negative ThinkTicks %d", o.ThinkTicks)
+	}
+	if o.StaggerTicks < 0 {
+		return fmt.Errorf("core: negative StaggerTicks %d", o.StaggerTicks)
 	}
 	if o.SocketTable < 0 || o.MbufPool < 0 || o.ProcTable < 0 || o.FDLimit < 0 {
 		return fmt.Errorf("core: negative resource pool size (sockets %d, mbufs %d, procs %d, fds %d)",
@@ -378,6 +396,11 @@ func NewApache(o Options) *Simulator {
 	if o.KeepAliveRequests > 1 {
 		ncfg.RequestsPerConn = o.KeepAliveRequests
 	}
+	if o.ThinkTicks > 0 {
+		ncfg.ThinkTicks = o.ThinkTicks
+	}
+	ncfg.StaggerTicks = o.StaggerTicks
+	ncfg.MeasureLatency = o.MeasureLatency
 	if o.Faults.BurstEvery > 0 {
 		// Size the dormant flash-crowd pool at 4 waves' worth of clients,
 		// so consecutive bursts overlap before earlier arrivals drain.

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-interrupt", "ablation-procs", "ablation-dma",
 		"ablation-affinity", "ablation-keepalive", "ablation-diskbound",
 		"ablation-loss", "ablation-crash", "ablation-sampling",
-		"ablation-overload", "ablation-exhaustion",
+		"ablation-overload", "ablation-exhaustion", "ablation-scale",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -261,5 +261,40 @@ func TestExhaustionAblationShape(t *testing.T) {
 	}
 	if res.Text != rerun.Text {
 		t.Fatal("exhaustion ablation nondeterministic across identical runs")
+	}
+}
+
+// TestScaleAblationShape is the million-client acceptance test: the
+// 10^3..10^6 sweep must complete under RunChecked without a watchdog trip,
+// every row (including the million-client one) must finish real requests,
+// and — since the arrival wave is identical in every row — completed
+// throughput must not degrade as the dormant population grows 1000x.
+// Identical seeds must reproduce the table byte-for-byte.
+func TestScaleAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a million-client fleet at Quick scale")
+	}
+	res, err := Run("ablation-scale", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values
+	if v["watchdogTrips"] != 0 {
+		t.Fatalf("watchdog tripped %v time(s) during the sweep:\n%s", v["watchdogTrips"], res.Text)
+	}
+	for _, row := range []string{"1k", "10k", "100k", "1m"} {
+		if v["done"+row] <= 0 {
+			t.Fatalf("%s-client row completed nothing:\n%s", row, res.Text)
+		}
+	}
+	if r := v["done1mOver1k"]; r < 0.5 {
+		t.Fatalf("throughput degraded with dormant population: 1m/1k ratio %.2f\n%s", r, res.Text)
+	}
+	rerun, err := Run("ablation-scale", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != rerun.Text {
+		t.Fatal("scale ablation nondeterministic across identical runs")
 	}
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func init() {
+	register("ablation-scale", "Ablation: client-population scaling 10^3..10^6 under the event-driven netsim", ablationScale)
+}
+
+// scaleArrivalsPerTick is the per-tick arrival wave held constant across the
+// sweep: the server's offered load does not change, only the dormant
+// population behind it. It matches the overload sweep's 1x capacity point so
+// the server stays at its knee rather than in collapse.
+const scaleArrivalsPerTick = 32
+
+// ablationScale sweeps the client population from one thousand to one
+// million while holding the offered load fixed: think time and arrival
+// stagger scale with the population, so every row presents the same
+// per-tick arrival wave and only the dormant fleet grows 1000x. Under the
+// old per-tick full-scan driver the largest row was unrunnable (every tick
+// walked a million state machines); under the timer wheel a tick costs
+// O(active + arrivals), so completed throughput and tail latency must stay
+// flat across three orders of magnitude. Every run advances through
+// RunChecked — watchdog, deadline, and invariant audits on — and the
+// latency percentiles come from the driver's deterministic histogram
+// (MeasureLatency, no fault injection needed).
+func ablationScale(ev *env, sc Scale, seed uint64) Result {
+	t := report.NewTable("clients", "stagger", "done", "refused",
+		"idle-reap", "p50", "p99", "p999")
+	vals := map[string]float64{}
+	trips := 0
+	var base float64
+	for _, row := range []struct {
+		label   string
+		clients int
+	}{{"1k", 1_000}, {"10k", 10_000}, {"100k", 100_000}, {"1m", 1_000_000}} {
+		stagger := row.clients / scaleArrivalsPerTick
+		sim := apacheSim(sc, seed, core.Options{
+			Clients:          row.clients,
+			ThinkTicks:       stagger,
+			StaggerTicks:     stagger,
+			MeasureLatency:   true,
+			IdleTimeoutTicks: 8,
+		})
+		w, err := ev.checkedWindow(sim, sc)
+		if err != nil {
+			trips++
+			t.Row(row.label, fmt.Sprintf("%d", stagger),
+				"trip", "-", "-", "-", "-", "-")
+			continue
+		}
+		done := float64(w.NetCompleted)
+		if base == 0 {
+			base = done
+		}
+		t.Row(row.label, fmt.Sprintf("%d", stagger),
+			report.I(w.NetCompleted), report.I(w.ConnsRefused),
+			report.I(w.ReapedIdle+w.ReapedSlowloris),
+			report.I(w.Latency.Quantile(0.50)), report.I(w.Latency.Quantile(0.99)),
+			report.I(w.Latency.Quantile(0.999)))
+		vals["done"+row.label] = done
+	}
+	vals["watchdogTrips"] = float64(trips)
+	if base > 0 {
+		vals["done1mOver1k"] = vals["done1m"] / base
+	}
+	text := t.String() + "\nThe arrival wave is identical in every row; only the dormant population\n" +
+		"grows. With the event-driven driver the per-tick cost is O(active +\n" +
+		"arrivals), so a million mostly-idle clients complete the same work at\n" +
+		"the same tail latency as a thousand (ns/tick scaling is pinned\n" +
+		"separately by BenchmarkNetTick in bench form).\n"
+	return Result{Text: text, Values: vals}
+}

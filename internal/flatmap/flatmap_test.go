@@ -1,0 +1,131 @@
+package flatmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestAgainstGoMap cross-checks the flat table against a Go map over a
+// seeded random op mix, including heavy delete/reinsert churn that exercises
+// the freelist and chain unlinking.
+func TestAgainstGoMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New(0)
+	ref := map[int]int{}
+	for op := 0; op < 200_000; op++ {
+		k := rng.Intn(4096)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Intn(1 << 20)
+			m.Put(k, v)
+			ref[k] = v
+		case 1:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			gv, gok := m.Get(k)
+			wv, wok := ref[k]
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, gv, gok, wv, wok)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	// Full content check through Range.
+	got := map[int]int{}
+	m.Range(func(k, v int) { got[k] = v })
+	if len(got) != len(ref) {
+		t.Fatalf("Range saw %d entries, want %d", len(got), len(ref))
+	}
+	for k, v := range ref {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestRangeDeterministic pins that two tables built by the same op sequence
+// walk their entries in the same order — the snapshot-stability property.
+func TestRangeDeterministic(t *testing.T) {
+	build := func() *IntMap {
+		m := New(4)
+		for i := 0; i < 300; i++ {
+			m.Put(i*3, i)
+		}
+		for i := 0; i < 300; i += 2 {
+			m.Delete(i * 3)
+		}
+		for i := 1000; i < 1100; i++ {
+			m.Put(i, -i)
+		}
+		return m
+	}
+	var a, b []int
+	build().Range(func(k, _ int) { a = append(a, k) })
+	build().Range(func(k, _ int) { b = append(b, k) })
+	if len(a) != len(b) {
+		t.Fatalf("walk lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFreelistReuse pins that deleted slots are recycled before the pool
+// grows: a bounded live population must not grow the entry pool unboundedly.
+func TestFreelistReuse(t *testing.T) {
+	m := New(64)
+	for i := 0; i < 10_000; i++ {
+		m.Put(i, i)
+		if i >= 32 {
+			m.Delete(i - 32)
+		}
+	}
+	if m.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", m.Len())
+	}
+	if got := len(m.entries); got > 64 {
+		t.Fatalf("entry pool grew to %d slots for a live population of 32", got)
+	}
+}
+
+// TestSortedEmission mirrors how snapshots consume Range: collect and sort.
+func TestSortedEmission(t *testing.T) {
+	m := New(0)
+	keys := []int{9, 2, 71, 33, 5}
+	for _, k := range keys {
+		m.Put(k, k*10)
+	}
+	var got []int
+	m.Range(func(k, _ int) { got = append(got, k) })
+	sort.Ints(got)
+	sort.Ints(keys)
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("sorted keys %v, want %v", got, keys)
+		}
+	}
+}
+
+func BenchmarkPutGetDelete(b *testing.B) {
+	m := New(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 1023
+		m.Put(k, i)
+		if v, ok := m.Get(k); !ok || v != i {
+			b.Fatal("lost entry")
+		}
+		m.Delete(k)
+	}
+}

@@ -126,7 +126,8 @@ func TestCrashReleasesHeldLocksAndSockets(t *testing.T) {
 	th := k.AddWorker(workerProgram("w", 1, 5))
 	// Hand the worker an accepted socket and a held lock, then crash it.
 	k.net.socks = append(k.net.socks, &socket{id: 1, conn: 42, owner: th.tid})
-	k.net.byConn[42] = 1
+	k.net.linkOwned(th, k.net.socks[1])
+	k.net.byConn.Put(42, 1)
 	k.lockHolder[sys.ResFile] = th.tid
 
 	k.SetFaults(faults.NewInjector(faults.Config{Seed: 1, CrashRate: 1, MaxCrashes: 1}))
@@ -139,7 +140,7 @@ func TestCrashReleasesHeldLocksAndSockets(t *testing.T) {
 	if !s.free {
 		t.Fatal("owned socket not reaped and recycled")
 	}
-	if _, known := k.net.byConn[42]; known {
+	if _, known := k.net.byConn.Get(42); known {
 		t.Fatal("reaped connection still demuxable")
 	}
 	if len(k.net.sockFree) != 1 || k.net.sockFree[0] != 1 {

@@ -178,6 +178,11 @@ type Thread struct {
 	wakeResult int
 	// sock is the socket index the thread is blocked on (-1 none).
 	sock int
+	// ownHead is the head of the thread's intrusive owned-socket list
+	// (socket ids chained through ownNext; 0 = empty, since socket 0 is
+	// the listen socket and never owned). Derived state: rebuilt from
+	// socket owners on restore.
+	ownHead int
 	// worker marks a crashable, respawnable server process (the
 	// fault-injection process domain targets only these).
 	worker bool

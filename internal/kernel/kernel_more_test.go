@@ -208,7 +208,7 @@ func TestConnOf(t *testing.T) {
 		t.Fatal("unknown fd should report -1")
 	}
 	k.deliverFrames([]Frame{{Conn: 42, Bytes: 10, Open: true}})
-	fd := k.net.byConn[42]
+	fd, _ := k.net.byConn.Get(42)
 	if k.ConnOf(fd) != 42 {
 		t.Fatalf("ConnOf(%d) = %d, want 42", fd, k.ConnOf(fd))
 	}

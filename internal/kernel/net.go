@@ -1,8 +1,12 @@
 package kernel
 
 import (
+	"slices"
+
+	"repro/internal/flatmap"
 	"repro/internal/mem"
 	"repro/internal/sys"
+	"repro/internal/timerwheel"
 )
 
 // Frame is one unit of network traffic crossing the simulated NIC (a
@@ -64,6 +68,23 @@ type socket struct {
 	// free marks a recycled socket-table slot (on the sockFree list,
 	// awaiting reuse by the next connection).
 	free bool
+	// ownPrev/ownNext link the socket into its owning thread's intrusive
+	// owned-socket list (crash teardown walks it in O(owned) instead of
+	// scanning the table). 0 is the end-of-list sentinel: socket 0 is the
+	// listen socket, which is never owned. ownerT caches the owning
+	// Thread so unlinking needs no tid lookup. Derived state: rebuilt
+	// from socket owners on restore, never serialized.
+	ownPrev, ownNext int
+	ownerT           *Thread
+	// idleWakeAt is the deadline of the socket's live idle-wheel entry
+	// (0 = none); a fired entry whose Due mismatches is stale. The wheel
+	// re-arms lazily: activity only moves lastActive, and a fire before
+	// lastActive+timeout reschedules instead of reaping. Derived state.
+	idleWakeAt uint64
+	// dirty marks the socket as having pending readiness work on the
+	// per-batch dirty ring (epoll-style deferred waiter wakeups). Always
+	// false between deliverFrames batches.
+	dirty bool
 }
 
 // acceptLen returns the number of pending (unaccepted) connections.
@@ -88,9 +109,11 @@ func (s *socket) popAccept() int {
 
 // netState is the kernel's network stack state.
 type netState struct {
-	nic    NIC
-	socks  []*socket
-	byConn map[int]int // connection id -> socket id
+	nic   NIC
+	socks []*socket
+	// byConn maps connection id -> socket id (flat free-listed table;
+	// serialized as a conn-sorted pair list, as the map predecessor was).
+	byConn *flatmap.IntMap
 	// sockFree is the LIFO freelist of recycled socket-table slots; the
 	// table is flat and free-listed so socket allocation is bounded and
 	// deterministic.
@@ -99,6 +122,19 @@ type netState struct {
 	now      uint64
 	// ticks counts 10 ms network ticks; idle timers are expressed in it.
 	ticks uint64 //detlint:ignore counterflow tick clock for idle timers, not a metric
+	// idleWheel holds one entry per idle-timeout candidate socket (stamped
+	// via socket.idleWakeAt); reapIdle advances it each tick instead of
+	// scanning the socket table. Derived state: rebuilt on restore.
+	idleWheel *timerwheel.Wheel
+	// idleDue is reapIdle's per-tick scratch of sockets due for reaping,
+	// sorted ascending so teardown order matches the old table scan.
+	idleDue []int32
+	// dirtyRing is deliverFrames' per-batch ring of sockets with deferred
+	// readiness wakeups (drained in mark order; empty between batches).
+	dirtyRing []int32
+	// reapScratch is reapSockets' per-crash scratch of owned socket ids,
+	// sorted ascending to match the old table scan's teardown order.
+	reapScratch []int32
 	// Delivered counts frames fully processed by netisr.
 	Delivered uint64
 	// Dropped counts frames for unknown connections or discarded as
@@ -107,7 +143,7 @@ type netState struct {
 }
 
 func newNetState() *netState {
-	ns := &netState{byConn: map[int]int{}}
+	ns := &netState{byConn: flatmap.New(0), idleWheel: timerwheel.New(0)}
 	// Socket 0 is the server's listen socket.
 	ns.socks = append(ns.socks, &socket{id: 0, listen: true})
 	return ns
@@ -150,7 +186,7 @@ func (k *Kernel) allocSocket() *socket {
 	if len(ns.socks) >= k.cfg.SocketTableSize {
 		return nil
 	}
-	s := &socket{id: len(ns.socks)}
+	s := &socket{id: len(ns.socks)} //detlint:ignore hotalloc one-time slot growth; every later alloc reuses the freelist
 	ns.socks = append(ns.socks, s)
 	return s
 }
@@ -162,9 +198,56 @@ func (ns *netState) freeSocket(s *socket) {
 	if s.listen || s.free || len(s.waiters) > 0 {
 		return
 	}
+	ns.unlinkOwned(s)
 	id := s.id
 	*s = socket{id: id, free: true}
 	ns.sockFree = append(ns.sockFree, id)
+}
+
+// linkOwned pushes a just-accepted socket onto its owner's intrusive
+// owned-socket list (head insert; teardown sorts, so list order is free).
+func (ns *netState) linkOwned(t *Thread, s *socket) {
+	s.ownerT = t
+	s.ownPrev = 0
+	s.ownNext = t.ownHead
+	if t.ownHead != 0 {
+		ns.socks[t.ownHead].ownPrev = s.id
+	}
+	t.ownHead = s.id
+}
+
+// unlinkOwned removes a socket from its owner's list (no-op if unowned).
+func (ns *netState) unlinkOwned(s *socket) {
+	t := s.ownerT
+	if t == nil {
+		return
+	}
+	if s.ownPrev != 0 {
+		ns.socks[s.ownPrev].ownNext = s.ownNext
+	} else if t.ownHead == s.id {
+		t.ownHead = s.ownNext
+	}
+	if s.ownNext != 0 {
+		ns.socks[s.ownNext].ownPrev = s.ownPrev
+	}
+	s.ownerT = nil
+	s.ownPrev, s.ownNext = 0, 0
+}
+
+// armIdle schedules (or keeps) an idle-timeout wheel entry for an accepted
+// socket. Later activity does not reschedule — the fire handler re-arms
+// lazily off lastActive — so each socket keeps at most one live entry.
+func (k *Kernel) armIdle(s *socket) {
+	timeout := k.cfg.IdleTimeoutTicks
+	if timeout == 0 || s.listen {
+		return
+	}
+	d := s.lastActive + timeout
+	if s.idleWakeAt != 0 && s.idleWakeAt <= d {
+		return
+	}
+	s.idleWakeAt = d
+	k.net.idleWheel.Schedule(d, int32(s.id))
 }
 
 // SetNIC attaches the network simulator.
@@ -218,7 +301,16 @@ func (k *Kernel) netisrStep(ctx int, t *Thread) bool {
 	return true
 }
 
-// deliverFrames demuxes processed frames into sockets and wakes waiters.
+// deliverFrames demuxes processed frames into sockets and batches
+// readiness delivery epoll-style: instead of a waiter wakeup per frame,
+// data/close frames mark their socket on a dirty ring that is drained once
+// at the end of the batch. Wakeup order and read results are preserved
+// exactly: a socket touched again mid-batch flushes first (so its sleeping
+// reader observes the same intermediate state the per-frame walk produced),
+// and an accept-path wakeup — which stays per-frame — flushes the whole
+// ring before it fires so cross-socket wake order never inverts.
+//
+//detlint:hot per-tick (AppOnly) / per-netisr-batch frame demux
 func (k *Kernel) deliverFrames(frames []Frame) {
 	ns := k.net
 	for _, fr := range frames {
@@ -230,6 +322,9 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 		case fr.Ack:
 			// Pure protocol work; nothing delivered to a socket.
 		case fr.Open && !connKnown(ns, fr.Conn):
+			// An accepted SYN can wake a blocked accepter immediately;
+			// flush deferred readiness first to keep global wake order.
+			k.drainDirty()
 			ls := ns.socks[ListenFD]
 			if ls.acceptLen() >= k.backlogLimit() {
 				// Listen queue full: the SYN is dropped (Digital Unix's
@@ -252,7 +347,7 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 			s.data = fr.Bytes
 			s.lastActive = ns.ticks
 			s.reqBytes = fr.Bytes
-			ns.byConn[fr.Conn] = s.id
+			ns.byConn.Put(fr.Conn, s.id)
 			ls.acceptQ = append(ls.acceptQ, s.id)
 			if inUse := ns.sockInUse(); inUse > k.SockHighwater {
 				k.SockHighwater = inUse
@@ -261,12 +356,18 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 				k.completeAccept(w, ls)
 			}
 		default:
-			sid, ok := ns.byConn[fr.Conn]
+			sid, ok := ns.byConn.Get(fr.Conn)
 			if !ok {
 				ns.Dropped++
 				continue
 			}
 			s := ns.socks[sid]
+			if s.dirty {
+				// Second touch this batch: deliver the earlier readiness
+				// before the new mutation lands, exactly as the per-frame
+				// walk would have.
+				k.flushDirty(s)
+			}
 			s.lastActive = ns.ticks
 			if fr.Close {
 				s.closed = true
@@ -274,29 +375,60 @@ func (k *Kernel) deliverFrames(frames []Frame) {
 				s.data += fr.Bytes
 				s.reqBytes += fr.Bytes
 			}
-			if w := popWaiter(s); w != nil {
-				k.completeRead(w, s)
-			}
+			s.dirty = true
+			ns.dirtyRing = append(ns.dirtyRing, int32(sid))
 		}
 		ns.Delivered++
 	}
+	k.drainDirty()
+}
+
+// flushDirty delivers one socket's deferred readiness.
+func (k *Kernel) flushDirty(s *socket) {
+	s.dirty = false
+	if w := popWaiter(s); w != nil {
+		k.completeRead(w, s)
+	}
+}
+
+// drainDirty delivers all deferred readiness in mark order and empties the
+// ring. Re-marked sockets appear twice; the stale occurrence is skipped by
+// the dirty flag.
+//
+//detlint:hot readiness batch drain on the frame-delivery path
+func (k *Kernel) drainDirty() {
+	ns := k.net
+	for _, sid := range ns.dirtyRing {
+		if s := ns.socks[sid]; s.dirty {
+			k.flushDirty(s)
+		}
+	}
+	ns.dirtyRing = ns.dirtyRing[:0]
 }
 
 // connKnown reports whether a connection already has a socket (a
 // retransmitted SYN under fault injection must not open a duplicate; it is
 // demuxed as data instead).
 func connKnown(ns *netState, conn int) bool {
-	_, ok := ns.byConn[conn]
+	_, ok := ns.byConn.Get(conn)
 	return ok
 }
 
 // reapSockets closes every connection socket owned by a dead thread (the
 // kernel closing a crashed process's descriptors; TCP sends the reset the
-// client sees) and removes the thread from all waiter queues.
-func (k *Kernel) reapSockets(t *Thread) {
+// client sees) and removes the thread from the one waiter queue it may be
+// sleeping on. Cost is O(owned sockets): the owned-socket intrusive list
+// replaces the old full-table scan, and t.sock replaces the old
+// every-waiter-queue sweep. It returns the number of sockets visited so
+// regression tests can pin the complexity claim.
+//
+//detlint:hot crash teardown; bounded by the dead thread's descriptors
+func (k *Kernel) reapSockets(t *Thread) int {
 	ns := k.net
-	for _, s := range ns.socks {
-		if len(s.waiters) > 0 {
+	// A thread sleeps on at most one socket at a time (accept, select, or
+	// read); t.sock tracks which.
+	if t.sock >= 0 {
+		if s := ns.sock(t.sock); s != nil {
 			kept := s.waiters[:0]
 			for _, w := range s.waiters {
 				if w != t {
@@ -305,12 +437,21 @@ func (k *Kernel) reapSockets(t *Thread) {
 			}
 			s.waiters = kept
 		}
-		if s.listen || s.free || s.owner != t.tid {
-			continue
-		}
+		t.sock = -1
+	}
+	// Collect the owned list, then tear down in ascending id order — the
+	// order the old table scan produced (FIN transmit order feeds the
+	// fault injector's streams, so it is behaviorally significant).
+	ns.reapScratch = ns.reapScratch[:0]
+	for sid := t.ownHead; sid != 0; sid = ns.socks[sid].ownNext {
+		ns.reapScratch = append(ns.reapScratch, int32(sid))
+	}
+	slices.Sort(ns.reapScratch)
+	for _, sid := range ns.reapScratch {
+		s := ns.socks[sid]
 		if !s.closed {
 			s.closed = true
-			delete(ns.byConn, s.conn)
+			ns.byConn.Delete(s.conn)
 			if ns.nic != nil {
 				ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
 			}
@@ -320,7 +461,9 @@ func (k *Kernel) reapSockets(t *Thread) {
 		// but never released — no FD or socket may leak past teardown.
 		ns.freeSocket(s)
 	}
+	visited := len(ns.reapScratch)
 	t.fds = 0
+	return visited
 }
 
 // backlogLimit returns the effective accept-backlog bound.
@@ -338,23 +481,48 @@ func (k *Kernel) backlogLimit() int {
 // and wake any blocked reader with 0 so the owning worker runs its ordinary
 // connection-close path. Unaccepted connections still in the backlog are
 // not timed; the backlog bound is what limits those.
+//
+// The reaper is driven by the lastActive timestamp wheel instead of a
+// per-tick full-table scan: each accepted socket carries at most one wheel
+// entry (armed at accept), activity only moves lastActive, and a fired
+// entry for a socket that has since been active re-arms lazily at
+// lastActive+timeout. Per tick this costs O(entries due), and each socket
+// fires at most ceil(idle span / timeout) times over its life — the same
+// reap ticks as the scan, independent of table size. Due sockets are torn
+// down in ascending id order, matching the scan (FIN transmit order feeds
+// the fault injector's streams).
+//
+//detlint:hot per-tick idle-timeout sweep; O(due), not O(table)
 func (k *Kernel) reapIdle() {
 	ns := k.net
 	timeout := k.cfg.IdleTimeoutTicks
-	for _, s := range ns.socks {
-		if s.listen || s.closed || s.owner == 0 {
+	ns.idleDue = ns.idleDue[:0]
+	for _, e := range ns.idleWheel.Advance(ns.ticks) {
+		s := ns.sock(int(e.ID))
+		if s == nil || e.Due != s.idleWakeAt {
+			continue // stale entry: socket re-armed later or recycled
+		}
+		s.idleWakeAt = 0
+		if s.listen || s.free || s.closed || s.owner == 0 {
 			continue
 		}
 		if ns.ticks-s.lastActive < timeout {
+			// Active since arming: push the deadline out lazily.
+			k.armIdle(s)
 			continue
 		}
+		ns.idleDue = append(ns.idleDue, e.ID)
+	}
+	slices.Sort(ns.idleDue)
+	for _, sid := range ns.idleDue {
+		s := ns.socks[sid]
 		if s.served && s.reqBytes == 0 {
 			k.ReapedIdle++
 		} else {
 			k.ReapedSlowloris++
 		}
 		s.closed = true
-		delete(ns.byConn, s.conn)
+		ns.byConn.Delete(s.conn)
 		if ns.nic != nil {
 			ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
 		}
@@ -371,19 +539,30 @@ func popWaiter(s *socket) *Thread {
 	}
 	w := s.waiters[0]
 	s.waiters = s.waiters[1:]
+	w.sock = -1
 	return w
+}
+
+// sleepOn parks a thread on a socket's waiter queue and records which
+// socket it sleeps on (a thread waits on at most one; crash teardown uses
+// t.sock for O(1) waiter removal).
+func sleepOn(s *socket, t *Thread) {
+	s.waiters = append(s.waiters, t)
+	t.sock = s.id
 }
 
 // completeAccept finishes a blocked accept: pop a pending connection.
 func (k *Kernel) completeAccept(t *Thread, ls *socket) {
 	if ls.acceptLen() == 0 {
-		ls.waiters = append(ls.waiters, t)
+		sleepOn(ls, t)
 		return
 	}
 	sid := ls.popAccept()
 	so := k.net.socks[sid]
 	so.owner = t.tid
 	so.lastActive = k.net.ticks
+	k.net.linkOwned(t, so)
+	k.armIdle(so)
 	t.fds++
 	t.wakeResult = sid
 	k.wake(t)
@@ -395,7 +574,7 @@ func (k *Kernel) completeRead(t *Thread, s *socket) {
 	n := s.data
 	s.data = 0
 	if n == 0 && !s.closed {
-		s.waiters = append(s.waiters, t)
+		sleepOn(s, t)
 		return
 	}
 	t.wakeResult = n
@@ -424,10 +603,12 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 			so := ns.socks[sid]
 			so.owner = t.tid
 			so.lastActive = ns.ticks
+			ns.linkOwned(t, so)
+			k.armIdle(so)
 			t.fds++
 			return sid, false
 		}
-		ls.waiters = append(ls.waiters, t)
+		sleepOn(ls, t)
 		return 0, true
 	case sys.SysSelect:
 		// Used non-blocking by the server model: report readiness.
@@ -436,7 +617,7 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 			return 1, false
 		}
 		if req.Blocking {
-			ls.waiters = append(ls.waiters, t)
+			sleepOn(ls, t)
 			return 0, true
 		}
 		return 0, false
@@ -455,7 +636,7 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 			if !req.Blocking {
 				return 0, false
 			}
-			s.waiters = append(s.waiters, t)
+			sleepOn(s, t)
 			return 0, true
 		}
 		return req.Bytes, false
@@ -477,7 +658,7 @@ func (k *Kernel) syscallEffect(t *Thread, req sys.Request) (res int, block bool)
 			s := ns.sock(req.FD)
 			if s != nil && !s.listen && !s.free {
 				s.closed = true
-				delete(ns.byConn, s.conn)
+				ns.byConn.Delete(s.conn)
 				if ns.nic != nil {
 					ns.nic.Transmit(Frame{Conn: s.conn, Close: true}, ns.now)
 				}

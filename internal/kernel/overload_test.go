@@ -146,7 +146,7 @@ func TestBacklogBoundRefusesSYNs(t *testing.T) {
 	}
 	// Refused connections never got sockets or demux entries.
 	for conn := 5; conn <= 7; conn++ {
-		if _, ok := k.net.byConn[conn]; ok {
+		if _, ok := k.net.byConn.Get(conn); ok {
 			t.Fatalf("refused conn %d has a demux entry", conn)
 		}
 	}
@@ -194,7 +194,7 @@ func TestIdleReaperClassifiesConnections(t *testing.T) {
 		if !so.closed {
 			t.Fatalf("reaped socket %d not closed", sid)
 		}
-		if _, ok := k.net.byConn[so.conn]; ok {
+		if _, ok := k.net.byConn.Get(so.conn); ok {
 			t.Fatalf("reaped socket %d still demuxed", sid)
 		}
 	}

@@ -1,0 +1,81 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sys"
+)
+
+// TestCrashTeardownTouchesOnlyOwnedSockets pins the O(owned) complexity of
+// crash cleanup: with 100k idle sockets owned by a healthy worker, reaping a
+// dead thread visits exactly the dead thread's descriptors — the intrusive
+// owned-socket list replaces the old full-table scan, and t.sock replaces
+// the old every-waiter-queue sweep.
+func TestCrashTeardownTouchesOnlyOwnedSockets(t *testing.T) {
+	const bulk = 100_000
+	cfg := netCfg()
+	cfg.SocketTableSize = 1 << 18
+	cfg.AcceptBacklog = 1 << 18
+	cfg.FDLimit = 1 << 18
+	k := New(cfg)
+	survivor := k.threads[0]
+
+	// 100k accepted, idle connections owned by the surviving thread.
+	openFrames(k, bulk)
+	for i := 0; i < bulk; i++ {
+		accept(t, k, survivor)
+	}
+
+	// A second thread owns three data connections plus one quiet one it is
+	// blocked reading (exercises the t.sock waiter-removal path too).
+	dead := &Thread{tid: 4242, sock: -1}
+	k.threads = append(k.threads, dead)
+	k.deliverFrames([]Frame{
+		{Conn: bulk + 1, Bytes: 300, Open: true},
+		{Conn: bulk + 2, Bytes: 300, Open: true},
+		{Conn: bulk + 3, Bytes: 300, Open: true},
+		{Conn: bulk + 4, Open: true}, // bare SYN: no request bytes yet
+	})
+	deadSids := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		deadSids = append(deadSids, accept(t, k, dead))
+	}
+	quiet := deadSids[3]
+	if _, block := k.syscallEffect(dead, sys.Request{
+		Num: sys.SysRead, Resource: sys.ResNet, FD: quiet, Blocking: true,
+	}); !block {
+		t.Fatal("read on the quiet socket did not block")
+	}
+	if dead.sock != quiet {
+		t.Fatalf("blocked reader's t.sock = %d, want %d", dead.sock, quiet)
+	}
+
+	before := k.net.sockInUse()
+	visited := k.reapSockets(dead)
+	if visited != len(deadSids) {
+		t.Fatalf("crash teardown visited %d sockets, want exactly the %d owned by the dead thread",
+			visited, len(deadSids))
+	}
+	if got := before - k.net.sockInUse(); got != len(deadSids) {
+		t.Fatalf("teardown freed %d sockets, want %d", got, len(deadSids))
+	}
+	for _, sid := range deadSids {
+		if !k.net.socks[sid].free {
+			t.Fatalf("dead thread's socket %d not recycled", sid)
+		}
+	}
+	if dead.sock != -1 || dead.fds != 0 || dead.ownHead != 0 {
+		t.Fatalf("dead thread state not cleared: sock=%d fds=%d ownHead=%d",
+			dead.sock, dead.fds, dead.ownHead)
+	}
+	if len(k.net.socks[quiet].waiters) != 0 {
+		t.Fatal("dead thread still parked on a waiter queue")
+	}
+	// The survivor's fleet is untouched.
+	if survivor.fds != bulk {
+		t.Fatalf("survivor lost descriptors: fds=%d, want %d", survivor.fds, bulk)
+	}
+	if _, ok := k.net.byConn.Get(1); !ok {
+		t.Fatal("survivor's connection lost its demux entry")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"reflect"
 	"sort"
 
+	"repro/internal/flatmap"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
@@ -332,9 +333,9 @@ func (k *Kernel) Snapshot() Snapshot {
 		}
 		s.Net.Socks = append(s.Net.Socks, ss)
 	}
-	for conn, sock := range ns.byConn {
+	ns.byConn.Range(func(conn, sock int) {
 		s.Net.ByConn = append(s.Net.ByConn, ConnSock{Conn: conn, Sock: sock})
-	}
+	})
 	sort.Slice(s.Net.ByConn, func(i, j int) bool { return s.Net.ByConn[i].Conn < s.Net.ByConn[j].Conn })
 	return s
 }
@@ -489,9 +490,9 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 		}
 		ns.socks = append(ns.socks, so)
 	}
-	ns.byConn = make(map[int]int, len(s.Net.ByConn))
+	ns.byConn = flatmap.New(len(s.Net.ByConn))
 	for _, cs := range s.Net.ByConn {
-		ns.byConn[cs.Conn] = cs.Sock
+		ns.byConn.Put(cs.Conn, cs.Sock)
 	}
 	ns.sockFree = append(ns.sockFree[:0], s.Net.SockFree...)
 	ns.pending = append(ns.pending[:0], s.Net.Pending...)
@@ -499,6 +500,35 @@ func (k *Kernel) RestoreState(s Snapshot, factory ProgFactory) ([]*workload.Scri
 	ns.ticks = s.Net.Ticks
 	ns.Delivered = s.Net.Delivered
 	ns.Dropped = s.Net.Dropped
+
+	// Rebuild derived network state the snapshot format knows nothing about
+	// (checkpoint-by-derivation): per-thread owned-socket lists, and the
+	// idle-timeout wheel. Fresh Thread/socket structs above already zeroed
+	// ownHead, the intrusive links, idleWakeAt, and the dirty flag; the
+	// scratch rings are always empty between cycles.
+	ns.dirtyRing = ns.dirtyRing[:0]
+	ns.idleDue = ns.idleDue[:0]
+	ns.reapScratch = ns.reapScratch[:0]
+	ns.idleWheel.Reset(ns.ticks)
+	for _, so := range ns.socks {
+		if so.free || so.listen || so.owner == 0 {
+			continue
+		}
+		t := k.threadByTID(so.owner)
+		if t == nil {
+			// An orphaned socket (owner thread gone) is a state-consistency
+			// problem for the auditor to flag, not a restore failure; the old
+			// map-based restore tolerated it the same way.
+			continue
+		}
+		ns.linkOwned(t, so)
+		if !so.closed {
+			// Canonical re-arm at lastActive+timeout: the live wheel may have
+			// held a staler deadline, but a stale fire only re-arms lazily to
+			// this same tick, so reap ticks are identical either way.
+			k.armIdle(so)
+		}
+	}
 
 	k.nextASN = s.NextASN
 	k.asnEpoch = s.ASNEpoch

@@ -1,0 +1,8 @@
+//go:build !netsimref
+
+package netsim
+
+// defaultRefScan selects the event-driven driver. Build with -tags
+// netsimref to default every Network to the reference full-scan driver
+// (bisection aid: `go test -tags netsimref ./...` must pass identically).
+const defaultRefScan = false

@@ -1,0 +1,7 @@
+//go:build netsimref
+
+package netsim
+
+// defaultRefScan under the netsimref tag: every Network starts on the
+// reference full-scan driver.
+const defaultRefScan = true

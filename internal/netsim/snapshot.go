@@ -4,6 +4,7 @@ package netsim
 import (
 	"sort"
 
+	"repro/internal/flatmap"
 	"repro/internal/kernel"
 	"repro/internal/stats"
 )
@@ -83,9 +84,9 @@ func (n *Network) Snapshot() Snapshot {
 			SendLeft: c.sendLeft, SendAt: c.sendAt, StartTick: c.startTick,
 		}
 	}
-	for conn, size := range n.files {
+	n.files.Range(func(conn, size int) {
 		s.Files = append(s.Files, FileSnap{Conn: conn, Size: size})
-	}
+	})
 	sort.Slice(s.Files, func(i, j int) bool { return s.Files[i].Conn < s.Files[j].Conn })
 	for _, d := range n.delayedIn {
 		s.DelayedIn = append(s.DelayedIn, DelayedSnap{Due: d.due, Frame: d.fr})
@@ -113,9 +114,9 @@ func (n *Network) Restore(s Snapshot) {
 	}
 	n.ticks = s.Ticks
 	n.nextID = s.NextID
-	n.files = make(map[int]int, len(s.Files))
+	n.files = flatmap.New(len(s.Files))
 	for _, f := range s.Files {
-		n.files[f.Conn] = f.Size
+		n.files.Put(f.Conn, f.Size)
 	}
 	n.delayedIn = n.delayedIn[:0]
 	for _, d := range s.DelayedIn {
@@ -133,4 +134,21 @@ func (n *Network) Restore(s Snapshot) {
 	n.Aborted = s.Aborted
 	n.Resets = s.Resets
 	n.Latency = s.Latency
+
+	// Rebuild all derived scheduling/demux state from the serialized fields
+	// (checkpoint-by-derivation: the on-disk format knows nothing about the
+	// wheel, heap, or index layouts).
+	n.connClient = flatmap.New(len(n.clients))
+	n.waiting = 0
+	for i := range n.clients {
+		c := &n.clients[i]
+		if c.conn != 0 {
+			n.connClient.Put(c.conn, i)
+		}
+		if c.state == csWaiting {
+			n.waiting++
+		}
+	}
+	n.rearmAll()
+	n.rebuildDormant()
 }
